@@ -1,0 +1,108 @@
+// Ablation A4: bulk load vs one-at-a-time dynamic insertion.
+//
+// Same corpus, same final logical index (identical labels and answers —
+// tested in tests/vist/bulk_load_test.cc). Measured: build time, file
+// size, and query latency. Bulk loading writes entries in key order, so
+// pages pack densely and D-key ranges cluster; dynamic insertion pays for
+// its flexibility with page fragmentation and scattered ranges.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/dblp_gen.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace bench {
+namespace {
+
+std::vector<std::pair<uint64_t, Sequence>> Corpus(SymbolTable* symtab,
+                                                  int records) {
+  DblpGenerator gen{DblpOptions{}};
+  std::vector<std::pair<uint64_t, Sequence>> docs;
+  docs.reserve(records);
+  for (int i = 0; i < records; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    docs.emplace_back(i + 1, BuildSequence(*doc.root(), symtab));
+  }
+  return docs;
+}
+
+const char* kProbeQueries[] = {
+    "/inproceedings/title",
+    "//author[text()='David']",
+    "/book[key='books/bc/MaierW88']/author",
+};
+
+void RunQueries(VistIndex* index, benchmark::State& state) {
+  // One warm-up round, then several measured rounds: the number of
+  // interest is steady-state latency over each physical layout.
+  size_t hits = 0;
+  for (const char* q : kProbeQueries) {
+    auto ids = index->Query(q);
+    CheckOk(ids.status(), q);
+    hits += ids->size();
+  }
+  constexpr int kRounds = 5;
+  auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const char* q : kProbeQueries) {
+      auto ids = index->Query(q);
+      CheckOk(ids.status(), q);
+    }
+  }
+  state.counters["query_ms"] = MillisSince(start) / kRounds;
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+void BM_DynamicInsert(benchmark::State& state) {
+  const int records = Scaled(20000);
+  for (auto _ : state) {
+    ScratchDir scratch("ablation_dyn");
+    auto index = VistIndex::Create(scratch.Sub("vist"), VistOptions());
+    CheckOk(index.status(), "create");
+    SymbolTable* symtab = (*index)->symbols();
+    auto docs = Corpus(symtab, records);
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& [id, seq] : docs) {
+      CheckOk((*index)->InsertSequence(seq, id), "insert");
+    }
+    CheckOk((*index)->Flush(), "flush");
+    state.counters["build_ms"] = MillisSince(start);
+    auto stats = (*index)->Stats();
+    CheckOk(stats.status(), "stats");
+    state.counters["size_MB"] = stats->size_bytes / (1024.0 * 1024.0);
+    RunQueries(index->get(), state);
+  }
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const int records = Scaled(20000);
+  for (auto _ : state) {
+    ScratchDir scratch("ablation_bulk");
+    auto index = VistIndex::Create(scratch.Sub("vist"), VistOptions());
+    CheckOk(index.status(), "create");
+    SymbolTable* symtab = (*index)->symbols();
+    auto docs = Corpus(symtab, records);
+    auto start = std::chrono::steady_clock::now();
+    CheckOk((*index)->BulkLoadSequences(docs), "bulk load");
+    CheckOk((*index)->Flush(), "flush");
+    state.counters["build_ms"] = MillisSince(start);
+    auto stats = (*index)->Stats();
+    CheckOk(stats.status(), "stats");
+    state.counters["size_MB"] = stats->size_bytes / (1024.0 * 1024.0);
+    RunQueries(index->get(), state);
+  }
+}
+
+BENCHMARK(BM_DynamicInsert)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_BulkLoad)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Ablation A3 (DESIGN.md): the naive suffix-tree traversal (Algorithm 1)
+// vs the indexed "jump" of RIST/ViST (Algorithm 2) — the motivating cost
+// comparison of §3.2 vs §3.3.
+//
+// The corpus is deliberately small (the naive algorithm walks whole
+// subtrees per query element); the gap widens with corpus size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+#include "query/query_sequence.h"
+#include "suffix/naive_search.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ScratchDir> scratch;
+  std::unique_ptr<VistIndex> index;
+  SequenceTrie trie;
+  std::vector<query::CompiledQuery> queries;
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  static const bool initialized = [] {
+    Fixture& f = fixture;
+    f.scratch = std::make_unique<ScratchDir>("ablation_naive");
+    auto index = VistIndex::Create(f.scratch->Sub("vist"), VistOptions());
+    CheckOk(index.status(), "create");
+    f.index = std::move(index).value();
+
+    SyntheticOptions options;
+    options.height = 8;
+    options.fanout = 4;
+    options.doc_size = 25;
+    options.seed = 4;
+    SyntheticGenerator gen(options);
+    // Large enough that the naive algorithm's whole-subtree walks dominate
+    // over constant factors (its cost grows superlinearly with corpus
+    // size; Algorithm 2's with matches).
+    const int docs = Scaled(8000);
+    for (int i = 0; i < docs; ++i) {
+      xml::Document doc = gen.NextDocument();
+      CheckOk(f.index->InsertDocument(*doc.root(), i + 1), "insert");
+      f.trie.Insert(BuildSequence(*doc.root(), f.index->symbols()), i + 1);
+    }
+    SyntheticOptions query_options = options;
+    query_options.seed = 99;
+    SyntheticGenerator query_gen(query_options);
+    while (f.queries.size() < 10) {
+      query::QueryTree tree = query_gen.NextQueryTree(5);
+      auto compiled = query::CompileQuery(tree, *f.index->symbols());
+      if (compiled.ok() && !compiled->alternatives.empty()) {
+        f.queries.push_back(std::move(compiled).value());
+      }
+    }
+    return true;
+  }();
+  (void)initialized;
+  return fixture;
+}
+
+void BM_Naive(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& compiled : fixture.queries) {
+      hits += NaiveSearch(fixture.trie, compiled).size();
+    }
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+void BM_Indexed(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  size_t hits = 0;
+  uint64_t scanned = 0;
+  for (auto _ : state) {
+    for (const auto& compiled : fixture.queries) {
+      MatchCounters counters;
+      auto ids = fixture.index->QueryCompiled(compiled, &counters);
+      CheckOk(ids.status(), "query");
+      hits += ids->size();
+      scanned += counters.entries_scanned;
+    }
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["entries_scanned"] = static_cast<double>(scanned);
+}
+
+BENCHMARK(BM_Naive)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Indexed)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist
+
+BENCHMARK_MAIN();

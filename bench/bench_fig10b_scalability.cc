@@ -1,0 +1,111 @@
+// Reproduces Figure 10(b): ViST query processing time vs data size on
+// synthetic datasets of fixed sequence length (paper: L=60, N up to 10^7
+// elements, query length 6).
+//
+// Paper's finding: "our index structure scales up sub-linearly with the
+// increase of data size".
+//
+// Defaults sweep N ∈ {2k, 4k, 8k, 16k} documents (multiply by
+// VIST_BENCH_SCALE for larger sweeps).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+#include "query/query_sequence.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ScratchDir> scratch;
+  std::unique_ptr<VistIndex> index;
+};
+
+Fixture& FixtureForDocs(int docs) {
+  static std::map<int, Fixture> fixtures;
+  auto it = fixtures.find(docs);
+  if (it != fixtures.end()) return it->second;
+  Fixture f;
+  f.scratch = std::make_unique<ScratchDir>("fig10b_" + std::to_string(docs));
+  auto index = VistIndex::Create(f.scratch->Sub("vist"), VistOptions());
+  CheckOk(index.status(), "create");
+  f.index = std::move(index).value();
+  SyntheticOptions options;
+  options.height = 10;
+  options.fanout = 8;
+  options.doc_size = 60;  // L = 60
+  options.seed = 2;
+  SyntheticGenerator gen(options);
+  for (int i = 0; i < docs; ++i) {
+    xml::Document doc = gen.NextDocument();
+    CheckOk(f.index->InsertDocument(*doc.root(), i + 1), "insert");
+  }
+  return fixtures.emplace(docs, std::move(f)).first->second;
+}
+
+void BM_DataSize(benchmark::State& state) {
+  const int docs = static_cast<int>(state.range(0));
+  Fixture& fixture = FixtureForDocs(docs);
+
+  SyntheticOptions query_options;
+  query_options.height = 10;
+  query_options.fanout = 8;
+  query_options.seed = 77;  // same queries for every data size
+  SyntheticGenerator gen(query_options);
+  std::vector<query::CompiledQuery> queries;
+  while (queries.size() < 20) {
+    query::QueryTree tree = gen.NextQueryTree(6);  // query length l = 6
+    auto compiled = query::CompileQuery(tree, *fixture.index->symbols());
+    if (compiled.ok() && !compiled->alternatives.empty()) {
+      queries.push_back(std::move(compiled).value());
+    }
+  }
+
+  size_t runs = 0;
+  for (auto _ : state) {
+    for (const auto& compiled : queries) {
+      // Figure 10 measures matching only, excluding DocId output (§4).
+      auto ids = fixture.index->QueryCompiled(compiled, nullptr,
+                                              /*collect_doc_ids=*/false);
+      CheckOk(ids.status(), "query");
+      benchmark::DoNotOptimize(ids->data());
+      ++runs;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(runs));
+  state.counters["docs"] = docs;
+  state.counters["elements"] = static_cast<double>(docs) * 60;
+}
+
+void RegisterSweep() {
+  for (int base : {2000, 4000, 8000, 16000}) {
+    benchmark::RegisterBenchmark("BM_DataSize",
+                                 [](benchmark::State& state) {
+                                   BM_DataSize(state);
+                                 })
+        ->Arg(Scaled(base))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  vist::bench::RegisterSweep();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  printf("\nFigure 10(b) shape check: time per query should grow "
+         "sub-linearly in `docs` (the paper's curve flattens).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 11(b): ViST index construction time vs dataset size
+// on synthetic data (paper: k=10, j=8, L=32, up to 5*10^7 elements, 2 KB
+// pages — "linear index construction time").
+//
+// The sweep doubles the element count; construction time should double
+// with it (linear shape).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace bench {
+namespace {
+
+void BM_BuildTime(benchmark::State& state) {
+  const int docs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ScratchDir scratch("fig11b_" + std::to_string(docs));
+    VistOptions options;
+    options.page_size = 2048;  // as in the paper's experiment
+    auto index = VistIndex::Create(scratch.Sub("vist"), options);
+    CheckOk(index.status(), "create");
+    SyntheticOptions gen_options;
+    gen_options.height = 10;
+    gen_options.fanout = 8;
+    gen_options.doc_size = 32;  // L = 32
+    gen_options.seed = 3;
+    SyntheticGenerator gen(gen_options);
+    for (int i = 0; i < docs; ++i) {
+      xml::Document doc = gen.NextDocument();
+      CheckOk((*index)->InsertDocument(*doc.root(), i + 1), "insert");
+    }
+    CheckOk((*index)->Flush(), "flush");
+  }
+  state.counters["docs"] = docs;
+  state.counters["elements"] = static_cast<double>(docs) * 32;
+  state.counters["elements_per_s"] = benchmark::Counter(
+      static_cast<double>(docs) * 32 * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void RegisterSweep() {
+  for (int base : {2000, 4000, 8000, 16000}) {
+    benchmark::RegisterBenchmark("BM_BuildTime",
+                                 [](benchmark::State& state) {
+                                   BM_BuildTime(state);
+                                 })
+        ->Arg(Scaled(base))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  vist::bench::RegisterSweep();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  printf("\nFigure 11(b) shape check: doubling `docs` should roughly "
+         "double the build time (linear construction).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Every binary honors VIST_BENCH_SCALE (a positive double): corpus sizes
+// are multiplied by it. The defaults are sized so the whole bench suite
+// finishes in a few minutes; VIST_BENCH_SCALE=50 reaches the paper's 10^6
+// sequences for the synthetic experiments.
+
+#ifndef VIST_BENCH_BENCH_UTIL_H_
+#define VIST_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace vist {
+namespace bench {
+
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = getenv("VIST_BENCH_SCALE");
+    return env != nullptr ? atof(env) : 1.0;
+  }();
+  return scale > 0 ? scale : 1.0;
+}
+
+inline int Scaled(int base) {
+  const double value = base * Scale();
+  return value < 1 ? 1 : static_cast<int>(value);
+}
+
+/// A self-cleaning scratch directory for index files.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("vist_bench_" + name + "_" + std::to_string(getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+  std::string Sub(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "bench: %s: %s\n", what, status.ToString().c_str());
+    abort();
+  }
+}
+
+inline double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace bench
+}  // namespace vist
+
+#endif  // VIST_BENCH_BENCH_UTIL_H_

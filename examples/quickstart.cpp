@@ -1,0 +1,109 @@
+// Quickstart: create a ViST index, add XML documents, query by structure.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole public API surface: Create / InsertDocument /
+// Query (plain and verified) / DeleteDocument / Stats / reopen.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "vist/vist_index.h"
+#include "xml/parser.h"
+
+namespace {
+
+// Dies with a message when a Status is not OK — fine for an example.
+void OrDie(const vist::Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    exit(1);
+  }
+}
+
+template <typename T>
+T ValueOrDie(vist::Result<T> result, const char* what) {
+  OrDie(result.status(), what);
+  return std::move(result).value();
+}
+
+void ShowQuery(vist::VistIndex* index, const char* path) {
+  auto ids = ValueOrDie(index->Query(path), path);
+  printf("  %-48s ->", path);
+  if (ids.empty()) printf(" (no matches)");
+  for (uint64_t id : ids) printf(" doc%llu", (unsigned long long)id);
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vist_quickstart_example";
+  std::filesystem::remove_all(dir);
+
+  // 1. Create an index. store_documents enables verified queries.
+  vist::VistOptions options;
+  options.store_documents = true;
+  auto index = ValueOrDie(vist::VistIndex::Create(dir.string(), options),
+                          "create index");
+  printf("Created index in %s\n\n", dir.string().c_str());
+
+  // 2. Insert documents — any well-formed XML.
+  const char* docs[] = {
+      "<library><book genre=\"databases\"><title>Red Book</title>"
+      "<author>Bailis</author></book></library>",
+
+      "<library><book genre=\"systems\"><title>SICP</title>"
+      "<author>Abelson</author><author>Sussman</author></book>"
+      "<journal><title>TODS</title></journal></library>",
+
+      "<library><journal><title>VLDB Journal</title>"
+      "<article><author>Gray</author></article></journal></library>",
+  };
+  uint64_t doc_id = 1;
+  for (const char* text : docs) {
+    auto doc = ValueOrDie(vist::xml::Parse(text), "parse document");
+    OrDie(index->InsertDocument(*doc.root(), doc_id), "insert");
+    printf("Inserted doc%llu\n", (unsigned long long)doc_id);
+    ++doc_id;
+  }
+
+  // 3. Structural queries: paths, branches, wildcards, values.
+  printf("\nQueries:\n");
+  ShowQuery(index.get(), "/library/book/title");
+  ShowQuery(index.get(), "/library/book[@genre='databases']");
+  ShowQuery(index.get(), "/library[book][journal]");
+  ShowQuery(index.get(), "//author[text()='Gray']");
+  ShowQuery(index.get(), "/library/*/title");
+  ShowQuery(index.get(), "/library//author");
+
+  // 4. Dynamic deletion.
+  auto doc2 = ValueOrDie(vist::xml::Parse(docs[1]), "parse");
+  OrDie(index->DeleteDocument(*doc2.root(), 2), "delete doc2");
+  printf("\nDeleted doc2; same queries again:\n");
+  ShowQuery(index.get(), "/library[book][journal]");
+  ShowQuery(index.get(), "/library/book/title");
+
+  // 5. Index statistics.
+  auto stats = ValueOrDie(index->Stats(), "stats");
+  printf("\nStats: %llu documents, %llu virtual-suffix-tree nodes, "
+         "%llu bytes on disk\n",
+         (unsigned long long)stats.num_documents,
+         (unsigned long long)stats.num_entries,
+         (unsigned long long)stats.size_bytes);
+
+  // 6. Persistence: reopen and query again.
+  OrDie(index->Flush(), "flush");
+  index.reset();
+  index = ValueOrDie(vist::VistIndex::Open(dir.string(), vist::VistOptions()),
+                     "reopen index");
+  printf("\nReopened from disk:\n");
+  ShowQuery(index.get(), "//author[text()='Gray']");
+
+  index.reset();
+  std::filesystem::remove_all(dir);
+  printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "baseline/node_index.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <set>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "query/path_parser.h"
+#include "seq/key_codec.h"
+
+namespace vist {
+namespace {
+
+// Entry key: symbol (8B BE) ‖ doc id (8B BE) ‖ start (4B BE); value:
+// end (4B BE) ‖ level (4B BE). Per-symbol postings arrive sorted by
+// (doc, start) for free.
+std::string EncodeRegionKey(Symbol symbol, uint64_t doc, uint32_t start) {
+  std::string key;
+  PutFixed64BE(&key, symbol);
+  PutFixed64BE(&key, doc);
+  PutFixed32BE(&key, start);
+  return key;
+}
+
+std::string EncodeRegionValue(uint32_t end, uint32_t level) {
+  std::string value;
+  PutFixed32BE(&value, end);
+  PutFixed32BE(&value, level);
+  return value;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NodeIndex>> NodeIndex::Create(
+    const std::string& dir, SymbolTable* symtab,
+    const NodeIndexOptions& options) {
+  VIST_CHECK(symtab != nullptr);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  std::unique_ptr<NodeIndex> index(new NodeIndex(symtab, options));
+  PagerOptions pager_options;
+  pager_options.page_size = options.page_size;
+  VIST_ASSIGN_OR_RETURN(index->pager_,
+                        Pager::Open(dir + "/nodes.db", pager_options));
+  const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);
+  index->pool_ =
+      std::make_unique<BufferPool>(index->pager_.get(), pool_pages);
+  VIST_ASSIGN_OR_RETURN(index->tree_,
+                        BTree::Create(index->pager_.get(),
+                                      index->pool_.get(), /*meta_slot=*/0));
+  return index;
+}
+
+Status NodeIndex::PutRegion(Symbol symbol, const Region& region) {
+  return tree_->Put(EncodeRegionKey(symbol, region.doc, region.start),
+                    EncodeRegionValue(region.end, region.level));
+}
+
+Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
+  // Region labeling: start = preorder rank, end = rank of the last
+  // descendant, level = depth. Attribute/text values are labeled as child
+  // nodes of their owner (the unified content+structure treatment, so the
+  // comparison with ViST is apples-to-apples).
+  uint32_t counter = 0;
+  Status status;
+  std::function<uint32_t(const xml::Node&, uint32_t)> label =
+      [&](const xml::Node& node, uint32_t level) -> uint32_t {
+    const uint32_t start = counter++;
+    uint32_t last = start;
+    if (node.is_attribute()) {
+      if (!node.value().empty()) {
+        const uint32_t vstart = counter++;
+        Status s = PutRegion(SymbolTable::ValueSymbol(node.value()),
+                             {doc_id, vstart, vstart, level + 1});
+        if (!s.ok()) status = s;
+        last = vstart;
+      }
+    } else {
+      for (const auto& child : node.children()) {
+        if (child->is_text()) {
+          if (child->value().empty()) continue;
+          const uint32_t vstart = counter++;
+          Status s = PutRegion(SymbolTable::ValueSymbol(child->value()),
+                               {doc_id, vstart, vstart, level + 1});
+          if (!s.ok()) status = s;
+          last = vstart;
+        } else {
+          last = label(*child, level + 1);
+        }
+      }
+    }
+    Status s = PutRegion(symtab_->Intern(node.name()),
+                         {doc_id, start, last, level});
+    if (!s.ok()) status = s;
+    return last;
+  };
+  label(root, 0);
+  return status;
+}
+
+Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(Symbol symbol) {
+  std::vector<Region> regions;
+  const std::string lo = EncodeRegionKey(symbol, 0, 0);
+  auto it = tree_->NewIterator();
+  for (it->Seek(lo); it->Valid(); it->Next()) {
+    if (DecodeFixed64BE(it->key().data()) != symbol) break;
+    Region region;
+    region.doc = DecodeFixed64BE(it->key().data() + 8);
+    region.start = DecodeFixed32BE(it->key().data() + 16);
+    region.end = DecodeFixed32BE(it->value().data());
+    region.level = DecodeFixed32BE(it->value().data() + 4);
+    regions.push_back(region);
+  }
+  VIST_RETURN_IF_ERROR(it->status());
+  return regions;
+}
+
+Result<std::vector<NodeIndex::Region>> NodeIndex::FetchAllNames() {
+  // '*' has no posting of its own: scan every name symbol (this full-index
+  // cost is precisely why the paper's Q3/Q4 hurt node indexes).
+  std::vector<Region> regions;
+  const std::string lo = EncodeRegionKey(1, 0, 0);
+  const std::string hi = EncodeRegionKey(kStarSymbol, 0, 0);
+  auto it = tree_->NewIterator();
+  for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0; it->Next()) {
+    Region region;
+    region.doc = DecodeFixed64BE(it->key().data() + 8);
+    region.start = DecodeFixed32BE(it->key().data() + 16);
+    region.end = DecodeFixed32BE(it->value().data());
+    region.level = DecodeFixed32BE(it->value().data() + 4);
+    regions.push_back(region);
+  }
+  VIST_RETURN_IF_ERROR(it->status());
+  std::sort(regions.begin(), regions.end());
+  return regions;
+}
+
+std::vector<NodeIndex::Region> NodeIndex::StructuralJoin(
+    const std::vector<Region>& parents, const std::vector<Region>& children,
+    bool parent_child) {
+  ++last_query_joins_;
+  std::vector<Region> result;
+  for (const Region& parent : parents) {
+    // Children of interest: same doc, start in (parent.start, parent.end].
+    Region probe;
+    probe.doc = parent.doc;
+    probe.start = parent.start + 1;
+    auto it = std::lower_bound(children.begin(), children.end(), probe);
+    for (; it != children.end() && it->doc == parent.doc &&
+           it->start <= parent.end;
+         ++it) {
+      if (!parent_child || it->level == parent.level + 1) {
+        result.push_back(parent);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
+    const query::QueryNode& node) {
+  using query::QueryNode;
+  std::vector<Region> candidates;
+  if (node.kind == QueryNode::Kind::kStar) {
+    VIST_ASSIGN_OR_RETURN(candidates, FetchAllNames());
+  } else {
+    VIST_CHECK(node.kind == QueryNode::Kind::kName);
+    auto symbol = symtab_->Lookup(node.name);
+    if (!symbol.ok()) return std::vector<Region>{};  // name never indexed
+    VIST_ASSIGN_OR_RETURN(candidates, FetchSymbol(*symbol));
+  }
+  for (const auto& child : node.children) {
+    if (candidates.empty()) break;
+    switch (child->kind) {
+      case QueryNode::Kind::kValue: {
+        VIST_ASSIGN_OR_RETURN(
+            std::vector<Region> values,
+            FetchSymbol(SymbolTable::ValueSymbol(child->value)));
+        candidates =
+            StructuralJoin(candidates, values, /*parent_child=*/true);
+        break;
+      }
+      case QueryNode::Kind::kName:
+      case QueryNode::Kind::kStar: {
+        VIST_ASSIGN_OR_RETURN(std::vector<Region> kids, EvalStep(*child));
+        candidates = StructuralJoin(candidates, kids, /*parent_child=*/true);
+        break;
+      }
+      case QueryNode::Kind::kDescendant: {
+        // The single target below '//' may sit at any depth.
+        for (const auto& target : child->children) {
+          VIST_ASSIGN_OR_RETURN(std::vector<Region> kids, EvalStep(*target));
+          candidates =
+              StructuralJoin(candidates, kids, /*parent_child=*/false);
+        }
+        break;
+      }
+    }
+  }
+  return candidates;
+}
+
+Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path) {
+  last_query_joins_ = 0;
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+
+  std::vector<Region> matches;
+  if (tree.root->kind == query::QueryNode::Kind::kDescendant) {
+    for (const auto& target : tree.root->children) {
+      VIST_ASSIGN_OR_RETURN(std::vector<Region> some, EvalStep(*target));
+      matches.insert(matches.end(), some.begin(), some.end());
+    }
+  } else {
+    VIST_ASSIGN_OR_RETURN(matches, EvalStep(*tree.root));
+    // Absolute path: the first step must be the document root.
+    matches.erase(std::remove_if(matches.begin(), matches.end(),
+                                 [](const Region& region) {
+                                   return region.level != 0;
+                                 }),
+                  matches.end());
+  }
+  std::set<uint64_t> docs;
+  for (const Region& region : matches) docs.insert(region.doc);
+  return std::vector<uint64_t>(docs.begin(), docs.end());
+}
+
+}  // namespace vist

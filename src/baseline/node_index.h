@@ -1,0 +1,96 @@
+// Baseline B — a node index in the style of XISS [16], the paper's second
+// comparison point (§4, §5: "uses single elements/attributes as the basic
+// unit of query... all other forms of expressions involve join operations").
+//
+// Every document node (elements, attributes, and their values) is region
+// labeled (start, end, level) and posted under its symbol. A query tree is
+// evaluated bottom-up as a series of structural joins: parent-child joins
+// check containment plus level adjacency, ancestor-descendant joins
+// containment only. Unlike sequence matching, this evaluates the query
+// tree *exactly* (branches anchor on the same node instance), so its
+// results equal ViST's verified results — DESIGN.md invariant 6.
+
+#ifndef VIST_BASELINE_NODE_INDEX_H_
+#define VIST_BASELINE_NODE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/path_expr.h"
+#include "seq/symbol_table.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "xml/node.h"
+
+namespace vist {
+
+struct NodeIndexOptions {
+  uint32_t page_size = 4096;
+  size_t buffer_pool_pages = 1024;
+};
+
+class NodeIndex {
+ public:
+  /// Creates an empty node index in `dir`. Names are interned into the
+  /// caller's symbol table (shared with the other engines in benchmarks),
+  /// which must outlive the index.
+  static Result<std::unique_ptr<NodeIndex>> Create(
+      const std::string& dir, SymbolTable* symtab,
+      const NodeIndexOptions& options = {});
+
+  NodeIndex(const NodeIndex&) = delete;
+  NodeIndex& operator=(const NodeIndex&) = delete;
+
+  /// Region-labels and indexes one document.
+  Status InsertDocument(const xml::Node& root, uint64_t doc_id);
+
+  /// Evaluates a path expression with exact XPath tree-pattern semantics;
+  /// returns sorted matching doc ids.
+  Result<std::vector<uint64_t>> Query(std::string_view path);
+
+  /// Structural joins performed by the last query.
+  uint64_t last_query_joins() const { return last_query_joins_; }
+
+  uint64_t size_bytes() const {
+    return pager_->page_count() * pager_->page_size();
+  }
+
+ private:
+  /// One region-labeled node occurrence.
+  struct Region {
+    uint64_t doc = 0;
+    uint32_t start = 0;
+    uint32_t end = 0;  // start of the last descendant (inclusive bound)
+    uint32_t level = 0;
+
+    bool operator<(const Region& other) const {
+      return doc != other.doc ? doc < other.doc : start < other.start;
+    }
+  };
+
+  NodeIndex(SymbolTable* symtab, NodeIndexOptions options)
+      : symtab_(symtab), options_(options) {}
+
+  Status PutRegion(Symbol symbol, const Region& region);
+  Result<std::vector<Region>> FetchSymbol(Symbol symbol);
+  Result<std::vector<Region>> FetchAllNames();
+
+  Result<std::vector<Region>> EvalStep(const query::QueryNode& node);
+  std::vector<Region> StructuralJoin(const std::vector<Region>& parents,
+                                     const std::vector<Region>& children,
+                                     bool parent_child);
+
+  SymbolTable* symtab_;
+  NodeIndexOptions options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+  uint64_t last_query_joins_ = 0;
+};
+
+}  // namespace vist
+
+#endif  // VIST_BASELINE_NODE_INDEX_H_

@@ -1,0 +1,257 @@
+#include "baseline/path_index.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "query/path_parser.h"
+#include "seq/key_codec.h"
+
+namespace vist {
+namespace {
+
+// Path key: length (2B BE) ‖ symbols (8B BE each); entries append the
+// doc id (8B BE). The length-first order groups paths by depth so wildcard
+// scans can work one depth bucket at a time, like the D-key order.
+std::string EncodePathKey(const std::vector<Symbol>& path) {
+  VIST_CHECK(path.size() <= kMaxPrefixDepth);
+  std::string key;
+  key.reserve(2 + 8 * path.size());
+  key.push_back(static_cast<char>(path.size() >> 8));
+  key.push_back(static_cast<char>(path.size()));
+  for (Symbol s : path) PutFixed64BE(&key, s);
+  return key;
+}
+
+std::string EncodePathEntryKey(const std::vector<Symbol>& path,
+                               uint64_t doc_id) {
+  std::string key = EncodePathKey(path);
+  PutFixed64BE(&key, doc_id);
+  return key;
+}
+
+// Partial key covering all paths of length `declared_len` that start with
+// `known` (known.size() <= declared_len).
+std::string EncodePathKeyPartial(size_t declared_len,
+                                 const std::vector<Symbol>& known) {
+  std::string key;
+  key.push_back(static_cast<char>(declared_len >> 8));
+  key.push_back(static_cast<char>(declared_len));
+  for (Symbol s : known) PutFixed64BE(&key, s);
+  return key;
+}
+
+bool DecodePathEntryKey(Slice input, std::vector<Symbol>* path,
+                        uint64_t* doc_id) {
+  if (input.size() < 10) return false;
+  const size_t len = (static_cast<unsigned char>(input[0]) << 8) |
+                     static_cast<unsigned char>(input[1]);
+  if (input.size() != 2 + 8 * len + 8) return false;
+  path->clear();
+  path->reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    path->push_back(DecodeFixed64BE(input.data() + 2 + 8 * i));
+  }
+  *doc_id = DecodeFixed64BE(input.data() + input.size() - 8);
+  return true;
+}
+
+// Lowers a query tree into its root-to-leaf path patterns. Sets
+// *unknown_name when the query uses a name the index never saw.
+void CollectLeafPaths(const query::QueryNode& node, const SymbolTable& symtab,
+                      std::vector<Symbol>* current,
+                      std::vector<std::vector<Symbol>>* out,
+                      bool* unknown_name) {
+  Symbol symbol = kInvalidSymbol;
+  switch (node.kind) {
+    case query::QueryNode::Kind::kName: {
+      auto looked_up = symtab.Lookup(node.name);
+      if (!looked_up.ok()) {
+        *unknown_name = true;
+        return;
+      }
+      symbol = *looked_up;
+      break;
+    }
+    case query::QueryNode::Kind::kStar:
+      symbol = kStarSymbol;
+      break;
+    case query::QueryNode::Kind::kDescendant:
+      symbol = kDescendantSymbol;
+      break;
+    case query::QueryNode::Kind::kValue:
+      symbol = SymbolTable::ValueSymbol(node.value);
+      break;
+  }
+  current->push_back(symbol);
+  if (node.children.empty()) {
+    out->push_back(*current);
+  } else {
+    for (const auto& child : node.children) {
+      CollectLeafPaths(*child, symtab, current, out, unknown_name);
+      if (*unknown_name) break;
+    }
+  }
+  current->pop_back();
+}
+
+// Refined-path posting key: a length prefix of 0xFFFF (impossible for a
+// real path: such a key would exceed the page cell limit) namespaces the
+// refined posting lists inside the same tree.
+std::string RefinedPostingKey(uint32_t refined_id, uint64_t doc_id) {
+  std::string key("\xFF\xFF", 2);
+  PutFixed32BE(&key, refined_id);
+  PutFixed64BE(&key, doc_id);
+  return key;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PathIndex>> PathIndex::Create(
+    const std::string& dir, const SymbolTable* symtab,
+    const PathIndexOptions& options) {
+  VIST_CHECK(symtab != nullptr);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  std::unique_ptr<PathIndex> index(new PathIndex(symtab, options));
+  PagerOptions pager_options;
+  pager_options.page_size = options.page_size;
+  VIST_ASSIGN_OR_RETURN(index->pager_,
+                        Pager::Open(dir + "/paths.db", pager_options));
+  const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);
+  index->pool_ =
+      std::make_unique<BufferPool>(index->pager_.get(), pool_pages);
+  VIST_ASSIGN_OR_RETURN(index->tree_,
+                        BTree::Create(index->pager_.get(),
+                                      index->pool_.get(), /*meta_slot=*/0));
+  return index;
+}
+
+Status PathIndex::AddRefinedPath(std::string_view path) {
+  query::CompileOptions compile_options;
+  compile_options.max_alternatives = options_.max_alternatives;
+  VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
+                        query::CompilePath(path, *symtab_, compile_options));
+  RefinedPath refined;
+  refined.pattern = std::string(path);
+  refined.compiled = std::move(compiled);
+  refined.id = static_cast<uint32_t>(refined_.size());
+  refined_.push_back(std::move(refined));
+  return Status::OK();
+}
+
+Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
+  std::vector<Symbol> path;
+  for (const SequenceElement& element : sequence) {
+    path = element.prefix;
+    path.push_back(element.symbol);
+    VIST_RETURN_IF_ERROR(
+        tree_->Put(EncodePathEntryKey(path, doc_id), Slice()));
+    max_depth_ = std::max<uint64_t>(max_depth_, path.size());
+  }
+  // Refined-path maintenance: every registered pattern is evaluated
+  // against every inserted document.
+  for (const RefinedPath& refined : refined_) {
+    ++refined_maintenance_checks_;
+    if (query::MatchesAny(refined.compiled, sequence)) {
+      VIST_RETURN_IF_ERROR(
+          tree_->Put(RefinedPostingKey(refined.id, doc_id), Slice()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
+    const std::vector<Symbol>& pattern) {
+  // Split the pattern into the concrete head and the wildcard-bearing rest.
+  std::vector<Symbol> known;
+  size_t stars = 0;
+  bool unbounded = false;
+  for (Symbol s : pattern) {
+    if (s == kStarSymbol) {
+      ++stars;
+    } else if (s == kDescendantSymbol) {
+      unbounded = true;
+    } else if (stars == 0 && !unbounded) {
+      known.push_back(s);
+    }
+  }
+  // Minimum concrete length: every non-'//' pattern symbol consumes one.
+  size_t min_len = 0;
+  for (Symbol s : pattern) {
+    if (s != kDescendantSymbol) ++min_len;
+  }
+  const size_t max_len =
+      unbounded ? std::max<size_t>(max_depth_, min_len) : min_len;
+
+  std::set<uint64_t> docs;
+  for (size_t len = min_len; len <= max_len; ++len) {
+    const std::string partial = EncodePathKeyPartial(len, known);
+    const std::string end = PrefixRangeEnd(partial);
+    auto it = tree_->NewIterator();
+    for (it->Seek(partial);
+         it->Valid() && (end.empty() || it->key().Compare(end) < 0);
+         it->Next()) {
+      std::vector<Symbol> path;
+      uint64_t doc_id = 0;
+      if (!DecodePathEntryKey(it->key(), &path, &doc_id)) {
+        return Status::Corruption("malformed path index key");
+      }
+      if (PrefixPatternMatches(pattern, path)) docs.insert(doc_id);
+    }
+    VIST_RETURN_IF_ERROR(it->status());
+  }
+  return std::vector<uint64_t>(docs.begin(), docs.end());
+}
+
+Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path) {
+  last_query_joins_ = 0;
+  // A registered refined path short-circuits to its posting list.
+  for (const RefinedPath& refined : refined_) {
+    if (refined.pattern != path) continue;
+    std::vector<uint64_t> docs;
+    const std::string lo = RefinedPostingKey(refined.id, 0);
+    const std::string hi = RefinedPostingKey(refined.id + 1, 0);
+    auto it = tree_->NewIterator();
+    for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0;
+         it->Next()) {
+      docs.push_back(DecodeFixed64BE(it->key().data() + 6));
+    }
+    VIST_RETURN_IF_ERROR(it->status());
+    return docs;
+  }
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+
+  std::vector<std::vector<Symbol>> leaf_paths;
+  std::vector<Symbol> current;
+  bool unknown_name = false;
+  CollectLeafPaths(*tree.root, *symtab_, &current, &leaf_paths,
+                   &unknown_name);
+  if (unknown_name) return std::vector<uint64_t>{};
+
+  std::vector<uint64_t> result;
+  bool first = true;
+  for (const std::vector<Symbol>& pattern : leaf_paths) {
+    VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> docs,
+                          EvalPathPattern(pattern));
+    if (first) {
+      result = std::move(docs);
+      first = false;
+    } else {
+      // The join Index Fabric needs for every extra branch.
+      ++last_query_joins_;
+      std::vector<uint64_t> merged;
+      std::set_intersection(result.begin(), result.end(), docs.begin(),
+                            docs.end(), std::back_inserter(merged));
+      result = std::move(merged);
+    }
+    if (result.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace vist

@@ -1,0 +1,114 @@
+// Baseline A — a raw-path index in the style of Index Fabric [9], as used
+// in the paper's evaluation (§4: "the Index Fabric algorithm (without the
+// extra index for refined paths)").
+//
+// Every root-to-node path of every document (content values included, as
+// leaf path components) is indexed as one key with a posting of doc ids.
+// Query evaluation decomposes the query tree into its root-to-leaf paths,
+// evaluates each path against the index — wildcard paths degrade into
+// range scans — and joins (intersects) the resulting doc-id sets. The
+// joins are exactly the cost ViST's whole-structure matching avoids, and
+// docid-level joining makes this baseline's branching-query semantics even
+// laxer than sequence matching (it cannot see whether two paths share any
+// ancestor instance).
+//
+// Refined paths (the Index Fabric feature the paper's comparison switches
+// off) are also implemented: a query pattern registered up front gets its
+// own posting list, maintained by evaluating the pattern against every
+// inserted document — so the registered queries are answered join-free,
+// at exactly the per-insert maintenance cost the paper's §1 warns about
+// ("the number of refined paths can have a huge impact on the size and
+// the maintenance cost of the index").
+
+#ifndef VIST_BASELINE_PATH_INDEX_H_
+#define VIST_BASELINE_PATH_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query_sequence.h"
+#include "seq/sequence.h"
+#include "seq/symbol_table.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace vist {
+
+struct PathIndexOptions {
+  uint32_t page_size = 4096;
+  size_t buffer_pool_pages = 1024;
+  size_t max_alternatives = 64;
+};
+
+class PathIndex {
+ public:
+  /// Creates an empty path index in `dir`. The caller's symbol table is
+  /// borrowed for query compilation and must outlive the index.
+  static Result<std::unique_ptr<PathIndex>> Create(
+      const std::string& dir, const SymbolTable* symtab,
+      const PathIndexOptions& options = {});
+
+  PathIndex(const PathIndex&) = delete;
+  PathIndex& operator=(const PathIndex&) = delete;
+
+  /// Registers a refined path: `path` becomes join-free to query. Must be
+  /// called before the documents it should cover are inserted (Index
+  /// Fabric likewise maintains refined paths from registration onward).
+  Status AddRefinedPath(std::string_view path);
+
+  /// Indexes every root-to-node path of the sequence (a sequence element's
+  /// prefix + symbol *is* its root-to-node path), and maintains every
+  /// registered refined path against it.
+  Status InsertSequence(const Sequence& sequence, uint64_t doc_id);
+
+  /// Evaluates a path expression; returns sorted matching doc ids. A path
+  /// string equal to a registered refined path is answered from its
+  /// posting list with zero joins.
+  Result<std::vector<uint64_t>> Query(std::string_view path);
+
+  /// Refined-path pattern evaluations performed by inserts so far (the
+  /// maintenance-cost metric).
+  uint64_t refined_maintenance_checks() const {
+    return refined_maintenance_checks_;
+  }
+
+  /// Number of join (set-intersection) operations the last query used —
+  /// the cost metric the paper's comparison is about.
+  uint64_t last_query_joins() const { return last_query_joins_; }
+
+  uint64_t size_bytes() const {
+    return pager_->page_count() * pager_->page_size();
+  }
+
+ private:
+  PathIndex(const SymbolTable* symtab, PathIndexOptions options)
+      : symtab_(symtab), options_(options) {}
+
+  /// Doc ids whose documents contain a path matching `pattern` (symbols
+  /// with possible kStarSymbol / kDescendantSymbol).
+  Result<std::vector<uint64_t>> EvalPathPattern(
+      const std::vector<Symbol>& pattern);
+
+  const SymbolTable* symtab_;
+  PathIndexOptions options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+  uint64_t max_depth_ = 0;
+  uint64_t last_query_joins_ = 0;
+
+  struct RefinedPath {
+    std::string pattern;             // the exact query string
+    query::CompiledQuery compiled;   // evaluated against every insert
+    uint32_t id = 0;                 // posting-key namespace
+  };
+  std::vector<RefinedPath> refined_;
+  uint64_t refined_maintenance_checks_ = 0;
+};
+
+}  // namespace vist
+
+#endif  // VIST_BASELINE_PATH_INDEX_H_

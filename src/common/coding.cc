@@ -1,0 +1,115 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace vist {
+
+void EncodeFixed32BE(char* buf, uint32_t v) {
+  buf[0] = static_cast<char>(v >> 24);
+  buf[1] = static_cast<char>(v >> 16);
+  buf[2] = static_cast<char>(v >> 8);
+  buf[3] = static_cast<char>(v);
+}
+
+void EncodeFixed64BE(char* buf, uint64_t v) {
+  EncodeFixed32BE(buf, static_cast<uint32_t>(v >> 32));
+  EncodeFixed32BE(buf + 4, static_cast<uint32_t>(v));
+}
+
+void PutFixed32BE(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32BE(buf, v);
+  dst->append(buf, 4);
+}
+
+void PutFixed64BE(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64BE(buf, v);
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32BE(const char* buf) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(buf);
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | static_cast<uint32_t>(b[3]);
+}
+
+uint64_t DecodeFixed64BE(const char* buf) {
+  return (static_cast<uint64_t>(DecodeFixed32BE(buf)) << 32) |
+         DecodeFixed32BE(buf + 4);
+}
+
+void EncodeFixed16LE(char* buf, uint16_t v) { memcpy(buf, &v, 2); }
+void EncodeFixed32LE(char* buf, uint32_t v) { memcpy(buf, &v, 4); }
+void EncodeFixed64LE(char* buf, uint64_t v) { memcpy(buf, &v, 8); }
+
+uint16_t DecodeFixed16LE(const char* buf) {
+  uint16_t v;
+  memcpy(&v, buf, 2);
+  return v;
+}
+uint32_t DecodeFixed32LE(const char* buf) {
+  uint32_t v;
+  memcpy(&v, buf, 4);
+  return v;
+}
+uint64_t DecodeFixed64LE(const char* buf) {
+  uint64_t v;
+  memcpy(&v, buf, 8);
+  return v;
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) { PutVarint64(dst, v); }
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->RemovePrefix(p - input->data());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->RemovePrefix(len);
+  return true;
+}
+
+}  // namespace vist

@@ -1,0 +1,57 @@
+// Order-preserving and compact integer codings used across the storage and
+// index layers.
+//
+// Big-endian fixed-width encodings preserve numeric order under memcmp,
+// which is what lets composite index keys (seq/key_codec.h) piggyback on the
+// byte-ordered B+ tree. Varints are used inside page payloads where order
+// does not matter but space does.
+
+#ifndef VIST_COMMON_CODING_H_
+#define VIST_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace vist {
+
+/// Appends a 4-byte big-endian encoding of v.
+void PutFixed32BE(std::string* dst, uint32_t v);
+/// Appends an 8-byte big-endian encoding of v.
+void PutFixed64BE(std::string* dst, uint64_t v);
+
+/// Writes a 4-byte big-endian encoding of v into buf.
+void EncodeFixed32BE(char* buf, uint32_t v);
+/// Writes an 8-byte big-endian encoding of v into buf.
+void EncodeFixed64BE(char* buf, uint64_t v);
+
+uint32_t DecodeFixed32BE(const char* buf);
+uint64_t DecodeFixed64BE(const char* buf);
+
+/// Little-endian fixed encodings for page-internal fields (native x86 order;
+/// not used in comparable keys).
+void EncodeFixed16LE(char* buf, uint16_t v);
+void EncodeFixed32LE(char* buf, uint32_t v);
+void EncodeFixed64LE(char* buf, uint64_t v);
+uint16_t DecodeFixed16LE(const char* buf);
+uint32_t DecodeFixed32LE(const char* buf);
+uint64_t DecodeFixed64LE(const char* buf);
+
+/// Appends a LEB128-style varint (1-5 bytes for 32-bit, 1-10 for 64-bit).
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint from the front of *input, advancing it. Returns false on
+/// truncated/overlong input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Appends varint(length) followed by the bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+/// Parses a length-prefixed slice from the front of *input, advancing it.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_CODING_H_

@@ -1,0 +1,21 @@
+#include "common/hash.h"
+
+namespace vist {
+
+uint64_t Hash64(const Slice& data, uint64_t seed) {
+  // FNV-1a over the bytes, then a Murmur3-style finalizer so short inputs
+  // still spread across the full 64-bit range.
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace vist

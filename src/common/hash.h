@@ -1,0 +1,22 @@
+// 64-bit hashing for attribute/text values.
+//
+// The paper encodes attribute values with a hash function h() so that value
+// equality predicates become symbol-equality tests (§2). We use a seeded
+// FNV-1a variant with avalanche finalization; it is stable across runs and
+// platforms, which matters because hashed values are persisted in index keys.
+
+#ifndef VIST_COMMON_HASH_H_
+#define VIST_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace vist {
+
+/// Stable 64-bit hash of the bytes in `data`.
+uint64_t Hash64(const Slice& data, uint64_t seed = 0);
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_HASH_H_

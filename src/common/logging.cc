@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vist {
+namespace internal_logging {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool VerboseEnabled() {
+  static const bool enabled = getenv("VIST_VERBOSE") != nullptr;
+  return enabled;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ != LogLevel::kInfo || VerboseEnabled()) {
+    stream_ << "\n";
+    fputs(stream_.str().c_str(), stderr);
+    fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) abort();
+}
+
+}  // namespace internal_logging
+}  // namespace vist

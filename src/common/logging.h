@@ -1,0 +1,73 @@
+// Minimal logging and invariant-checking macros.
+//
+// VIST_CHECK(cond) aborts with a message when cond is false — used for
+// programmer errors and internal invariants (never for data-dependent
+// failures, which go through Status). VIST_LOG(level) writes a line to
+// stderr; INFO lines are suppressed unless VIST_VERBOSE is set in the
+// environment.
+
+#ifndef VIST_COMMON_LOGGING_H_
+#define VIST_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace vist {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Accumulates a message and emits it (and aborts, for kFatal) at the end of
+/// the full statement.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+bool VerboseEnabled();
+
+}  // namespace internal_logging
+
+#define VIST_LOG(level)                                       \
+  ::vist::internal_logging::LogMessage(::vist::LogLevel::k##level, \
+                                       __FILE__, __LINE__)
+
+#define VIST_CHECK(cond)                                  \
+  (cond) ? (void)0                                        \
+         : ::vist::internal_logging::Voidify() &          \
+               VIST_LOG(Fatal) << "Check failed: " #cond " "
+
+#define VIST_DCHECK(cond) VIST_CHECK(cond)
+
+namespace internal_logging {
+/// Makes the ternary in VIST_CHECK type-check (both arms void).
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+}  // namespace internal_logging
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_LOGGING_H_

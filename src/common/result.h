@@ -1,0 +1,68 @@
+// Result<T>: a value-or-Status return type (the library's StatusOr).
+
+#ifndef VIST_COMMON_RESULT_H_
+#define VIST_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace vist {
+
+/// Holds either a T (when `status().ok()`) or an error Status. Accessing the
+/// value of an error Result aborts the process with the status message, so
+/// callers must check `ok()` first (enforced in tests and debug builds alike).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error: `return Status::NotFound(...)`. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    VIST_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    VIST_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    VIST_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    VIST_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define VIST_ASSIGN_OR_RETURN(lhs, expr)                \
+  VIST_ASSIGN_OR_RETURN_IMPL_(                          \
+      VIST_MACRO_CONCAT_(_vist_result, __LINE__), lhs, expr)
+
+#define VIST_MACRO_CONCAT_INNER_(a, b) a##b
+#define VIST_MACRO_CONCAT_(a, b) VIST_MACRO_CONCAT_INNER_(a, b)
+#define VIST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_RESULT_H_

@@ -1,0 +1,74 @@
+// Slice: a non-owning view over a byte range, with the comparison semantics
+// the storage layer depends on (plain memcmp order).
+
+#ifndef VIST_COMMON_SLICE_H_
+#define VIST_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace vist {
+
+/// A pointer + length pair over caller-owned bytes. Like std::string_view but
+/// with the RocksDB-style helpers the B+ tree code wants. The viewed bytes
+/// must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit from std::string / string literals: slices are the pervasive
+  /// parameter type of the storage API and the conversions are value-neutral.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// memcmp order: <0, 0, >0 as in strcmp. This is the *only* key order the
+  /// storage layer knows; all higher-level orderings are achieved by
+  /// order-preserving key encoding (see seq/key_codec.h).
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r != 0) return r;
+    if (size_ < other.size_) return -1;
+    if (size_ > other.size_) return 1;
+    return 0;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.Compare(b) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_SLICE_H_

@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace vist {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kScopeOverflow:
+      return "ScopeOverflow";
+    case StatusCode::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+}  // namespace vist

@@ -1,0 +1,86 @@
+#include "datagen/dblp_gen.h"
+
+namespace vist {
+namespace {
+
+const char* kVenues[] = {"sigmod", "vldb", "icde",  "kdd",
+                         "www",    "cikm", "icdm", "edbt"};
+const char* kJournals[] = {"tods", "tkde", "vldbj", "is", "sigmodrec"};
+const char* kPublishers[] = {"morgan-kaufmann", "acm-press", "springer",
+                             "mit-press"};
+
+}  // namespace
+
+DblpGenerator::DblpGenerator(const DblpOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+std::string DblpGenerator::AuthorName() {
+  // ~1% exact "David" so Table 3's Q2-Q4 have non-trivial selectivity.
+  if (rng_.Bernoulli(0.01)) return "David";
+  return "author_" + std::to_string(
+                         rng_.Skewed(options_.num_authors, 0.4));
+}
+
+xml::Document DblpGenerator::NextRecord(uint64_t i) {
+  const uint64_t kind = rng_.Uniform(100);
+  // Record 0 is always the book whose key Q5 (Table 3) looks up.
+  const char* type = i == 0      ? "book"
+                     : kind < 60 ? "inproceedings"
+                     : kind < 85 ? "article"
+                     : kind < 95 ? "book"
+                                 : "phdthesis";
+  xml::Document doc = xml::Document::WithRoot(type);
+  xml::Node* record = doc.root();
+
+  std::string key;
+  if (i == 0) {
+    key = "books/bc/MaierW88";
+  } else {
+    key = std::string(type == std::string("article") ? "journals" : "conf") +
+          "/" + kVenues[rng_.Uniform(8)] + "/rec" + std::to_string(i);
+  }
+  record->AddAttribute("key", key);
+  record->AddAttribute("mdate",
+                       std::to_string(1995 + rng_.Uniform(9)) + "-01-01");
+
+  const int authors = 1 + static_cast<int>(rng_.Uniform(3));
+  for (int a = 0; a < authors; ++a) {
+    record->AddElement("author")->AddText(AuthorName());
+  }
+  record->AddElement("title")->AddText("title_" + std::to_string(i));
+  record->AddElement("year")->AddText(
+      std::to_string(1970 + rng_.Uniform(34)));
+  record->AddElement("pages")->AddText(std::to_string(rng_.Uniform(500)) +
+                                       "-" +
+                                       std::to_string(rng_.Uniform(500) + 500));
+  if (std::string(type) == "inproceedings") {
+    record->AddElement("booktitle")->AddText(kVenues[rng_.Uniform(8)]);
+    if (rng_.Bernoulli(0.5)) {
+      record->AddElement("crossref")
+          ->AddText("conf/" + std::string(kVenues[rng_.Uniform(8)]));
+    }
+  } else if (std::string(type) == "article") {
+    record->AddElement("journal")->AddText(kJournals[rng_.Uniform(5)]);
+    record->AddElement("volume")->AddText(std::to_string(rng_.Uniform(40)));
+    if (rng_.Bernoulli(0.7)) {
+      record->AddElement("number")->AddText(std::to_string(rng_.Uniform(12)));
+    }
+  } else if (std::string(type) == "book") {
+    record->AddElement("publisher")->AddText(kPublishers[rng_.Uniform(4)]);
+    record->AddElement("isbn")->AddText("0-" + std::to_string(i));
+  } else {
+    record->AddElement("school")->AddText("univ_" +
+                                          std::to_string(rng_.Uniform(50)));
+  }
+  record->AddElement("ee")->AddText("db/" + key + ".html");
+  if (rng_.Bernoulli(0.6)) {
+    record->AddElement("url")->AddText("http://dblp/" + key);
+  }
+  if (rng_.Bernoulli(0.2)) {
+    record->AddElement("note")->AddText("note_" +
+                                        std::to_string(rng_.Uniform(100)));
+  }
+  return doc;
+}
+
+}  // namespace vist

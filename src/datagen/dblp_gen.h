@@ -1,0 +1,43 @@
+// DBLP-like bibliographic records (the substitution for the real DBLP
+// download — see DESIGN.md "Substitutions").
+//
+// Shape matches DBLP's: a flat record per publication (inproceedings /
+// article / book / phdthesis) with a key attribute, 1-3 authors drawn from
+// a skewed pool, title, year, pages, venue, ee, and url — maximum depth 6
+// from the record root and ~31 sequence elements on average, as §4
+// reports. The vocabulary the paper's Table 3 queries need is guaranteed:
+// some authors are exactly "David", and the first book carries the key
+// 'books/bc/MaierW88' of Q5.
+
+#ifndef VIST_DATAGEN_DBLP_GEN_H_
+#define VIST_DATAGEN_DBLP_GEN_H_
+
+#include "common/random.h"
+#include "xml/node.h"
+
+namespace vist {
+
+struct DblpOptions {
+  uint64_t seed = 7;
+  /// Size of the author pool (skewed access: a few authors are prolific).
+  int num_authors = 2000;
+};
+
+class DblpGenerator {
+ public:
+  explicit DblpGenerator(const DblpOptions& options);
+
+  /// Generates record number `i` (deterministic given seed + i ordering:
+  /// call with consecutive i starting at 0).
+  xml::Document NextRecord(uint64_t i);
+
+ private:
+  std::string AuthorName();
+
+  DblpOptions options_;
+  Random rng_;
+};
+
+}  // namespace vist
+
+#endif  // VIST_DATAGEN_DBLP_GEN_H_

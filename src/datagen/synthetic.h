@@ -1,0 +1,59 @@
+// The paper's synthetic workload (§4 "Synthetic"): documents are random
+// connected subtrees of a conceptual complete tree of height k and fanout
+// j; queries are generated the same way. Element names are keyed to the
+// child position in the conceptual tree, so the same j names recur at
+// every level (a j-element vocabulary, as a DTD would induce).
+
+#ifndef VIST_DATAGEN_SYNTHETIC_H_
+#define VIST_DATAGEN_SYNTHETIC_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "query/path_expr.h"
+#include "xml/node.h"
+
+namespace vist {
+
+struct SyntheticOptions {
+  int height = 10;      // k: conceptual tree height
+  int fanout = 8;       // j: children per conceptual node
+  int doc_size = 30;    // L: nodes per generated document
+  /// Attach a text value to this fraction of nodes (0 disables content).
+  double value_probability = 0.0;
+  /// Distinct values when value_probability > 0.
+  int num_values = 100;
+  uint64_t seed = 42;
+};
+
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(const SyntheticOptions& options);
+
+  /// Generates the next random document: a connected, root-anchored
+  /// subtree with `doc_size` nodes ("first we select the root node, then
+  /// we randomly select the next node x ... x is a child node of a
+  /// selected node").
+  xml::Document NextDocument();
+
+  /// Generates a random query of `length` nodes by the same process
+  /// ("random queries can be generated in the same way"), as a query tree.
+  /// With `value_predicate`, one random leaf gets an equality test.
+  query::QueryTree NextQueryTree(int length, bool value_predicate = false);
+
+  /// Renders a query tree back to path-expression syntax so string-based
+  /// engines can run the same query.
+  static std::string QueryTreeToPath(const query::QueryTree& tree);
+
+ private:
+  /// Builds a random subtree shape of `size` nodes; used by both document
+  /// and query generation.
+  std::unique_ptr<xml::Node> RandomShape(int size);
+
+  SyntheticOptions options_;
+  Random rng_;
+};
+
+}  // namespace vist
+
+#endif  // VIST_DATAGEN_SYNTHETIC_H_

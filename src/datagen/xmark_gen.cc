@@ -1,0 +1,169 @@
+#include "datagen/xmark_gen.h"
+
+namespace vist {
+namespace {
+
+const char* kRegions[] = {"namerica", "europe", "asia", "africa",
+                          "australia", "samerica"};
+const char* kCountries[] = {"US", "Germany", "Japan", "France", "Brazil",
+                            "Canada"};
+const char* kCities[] = {"Pocatello", "Boston",  "NewYork", "Tokyo",
+                         "Berlin",    "Chicago", "Paris",   "Austin"};
+const char* kCategories[] = {"cat1", "cat2", "cat3", "cat4", "cat5"};
+
+}  // namespace
+
+XmarkGenerator::XmarkGenerator(const XmarkOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+std::string XmarkGenerator::PersonRef() {
+  // Q8 pins person1; give it ~2% weight so the query is selective but
+  // non-empty at bench scale.
+  if (rng_.Bernoulli(0.02)) return "person1";
+  return "person" + std::to_string(rng_.Skewed(options_.num_persons, 0.3));
+}
+
+std::string XmarkGenerator::DateString() {
+  // The evaluation queries pin 12/15/1999; give it ~2% weight.
+  if (rng_.Bernoulli(0.02)) return "12/15/1999";
+  return std::to_string(1 + rng_.Uniform(12)) + "/" +
+         std::to_string(1 + rng_.Uniform(28)) + "/" +
+         std::to_string(1998 + rng_.Uniform(4));
+}
+
+void XmarkGenerator::FillItem(xml::Node* site, uint64_t i) {
+  xml::Node* item = site->AddElement("regions")
+                        ->AddElement(kRegions[rng_.Uniform(6)])
+                        ->AddElement("item");
+  item->AddAttribute("id", "item" + std::to_string(i));
+  item->AddElement("location")->AddText(
+      rng_.Bernoulli(0.35) ? "US" : kCountries[1 + rng_.Uniform(5)]);
+  item->AddElement("quantity")->AddText(std::to_string(1 + rng_.Uniform(9)));
+  item->AddElement("name")->AddText("itemname" + std::to_string(i));
+  item->AddElement("payment")->AddText(rng_.Bernoulli(0.5) ? "Creditcard"
+                                                           : "Cash");
+  xml::Node* description = item->AddElement("description");
+  description->AddElement("text")->AddText("desc" +
+                                           std::to_string(rng_.Uniform(1000)));
+  const int cats = 1 + static_cast<int>(rng_.Uniform(3));
+  for (int c = 0; c < cats; ++c) {
+    item->AddElement("incategory")
+        ->AddAttribute("category", kCategories[rng_.Uniform(5)]);
+  }
+  xml::Node* mailbox = item->AddElement("mailbox");
+  const int mails = static_cast<int>(rng_.Uniform(3));
+  for (int m = 0; m < mails; ++m) {
+    xml::Node* mail = mailbox->AddElement("mail");
+    mail->AddElement("from")->AddText(PersonRef());
+    mail->AddElement("to")->AddText(PersonRef());
+    mail->AddElement("date")->AddText(DateString());
+  }
+}
+
+void XmarkGenerator::FillPerson(xml::Node* site, uint64_t i) {
+  xml::Node* person =
+      site->AddElement("people")->AddElement("person");
+  person->AddAttribute("id", "person" + std::to_string(i));
+  person->AddElement("name")->AddText("name" + std::to_string(i));
+  person->AddElement("emailaddress")
+      ->AddText("mailto:p" + std::to_string(i) + "@example.com");
+  if (rng_.Bernoulli(0.7)) {
+    xml::Node* address = person->AddElement("address");
+    address->AddElement("street")->AddText(
+        std::to_string(rng_.Uniform(99) + 1) + " Main St");
+    address->AddElement("city")->AddText(kCities[rng_.Uniform(8)]);
+    address->AddElement("country")->AddText(kCountries[rng_.Uniform(6)]);
+    address->AddElement("zipcode")->AddText(
+        std::to_string(10000 + rng_.Uniform(90000)));
+  }
+  if (rng_.Bernoulli(0.5)) {
+    xml::Node* profile = person->AddElement("profile");
+    profile->AddAttribute("income",
+                          std::to_string(20000 + rng_.Uniform(80000)));
+    const int interests = static_cast<int>(rng_.Uniform(3));
+    for (int k = 0; k < interests; ++k) {
+      profile->AddElement("interest")
+          ->AddAttribute("category", kCategories[rng_.Uniform(5)]);
+    }
+    profile->AddElement("education")
+        ->AddText(rng_.Bernoulli(0.5) ? "Graduate" : "College");
+    profile->AddElement("age")->AddText(
+        std::to_string(18 + rng_.Uniform(60)));
+  }
+  if (rng_.Bernoulli(0.4)) {
+    person->AddElement("creditcard")
+        ->AddText(std::to_string(1000 + rng_.Uniform(9000)) + " 5000");
+  }
+}
+
+void XmarkGenerator::FillOpenAuction(xml::Node* site, uint64_t i) {
+  xml::Node* auction =
+      site->AddElement("open_auctions")->AddElement("open_auction");
+  auction->AddAttribute("id", "open_auction" + std::to_string(i));
+  auction->AddElement("initial")->AddText(
+      std::to_string(1 + rng_.Uniform(200)));
+  const int bidders = static_cast<int>(rng_.Uniform(4));
+  for (int b = 0; b < bidders; ++b) {
+    xml::Node* bidder = auction->AddElement("bidder");
+    bidder->AddElement("date")->AddText(DateString());
+    bidder->AddElement("personref")->AddText(PersonRef());
+    bidder->AddElement("increase")->AddText(
+        std::to_string(1 + rng_.Uniform(20)));
+  }
+  auction->AddElement("current")->AddText(
+      std::to_string(10 + rng_.Uniform(400)));
+  auction->AddElement("itemref")->AddText("item" +
+                                          std::to_string(rng_.Uniform(10000)));
+  auction->AddElement("seller")->AddElement("person")->AddText(PersonRef());
+  auction->AddElement("quantity")->AddText(
+      std::to_string(1 + rng_.Uniform(5)));
+}
+
+void XmarkGenerator::FillClosedAuction(xml::Node* site, uint64_t i) {
+  xml::Node* auction =
+      site->AddElement("closed_auctions")->AddElement("closed_auction");
+  auction->AddAttribute("id", "closed_auction" + std::to_string(i));
+  // Q8 probes //closed_auction[*[person='...']]: buyer and seller both
+  // wrap a person element.
+  auction->AddElement("seller")->AddElement("person")->AddText(PersonRef());
+  auction->AddElement("buyer")->AddElement("person")->AddText(PersonRef());
+  auction->AddElement("itemref")->AddText("item" +
+                                          std::to_string(rng_.Uniform(10000)));
+  auction->AddElement("price")->AddText(std::to_string(5 + rng_.Uniform(500)));
+  auction->AddElement("date")->AddText(DateString());
+  auction->AddElement("quantity")->AddText(
+      std::to_string(1 + rng_.Uniform(5)));
+  auction->AddElement("type")->AddText(rng_.Bernoulli(0.5) ? "Regular"
+                                                           : "Featured");
+}
+
+xml::Document XmarkGenerator::NextRecordOfKind(RecordKind kind, uint64_t i) {
+  xml::Document doc = xml::Document::WithRoot("site");
+  switch (kind) {
+    case RecordKind::kItem:
+      FillItem(doc.root(), i);
+      break;
+    case RecordKind::kPerson:
+      FillPerson(doc.root(), i);
+      break;
+    case RecordKind::kOpenAuction:
+      FillOpenAuction(doc.root(), i);
+      break;
+    case RecordKind::kClosedAuction:
+      FillClosedAuction(doc.root(), i);
+      break;
+  }
+  return doc;
+}
+
+xml::Document XmarkGenerator::NextRecord(uint64_t i) {
+  // Rough XMARK proportions: many items and persons, fewer auctions.
+  const uint64_t slot = i % 10;
+  RecordKind kind = slot < 4   ? RecordKind::kItem
+                    : slot < 7 ? RecordKind::kPerson
+                    : slot < 9 ? RecordKind::kClosedAuction
+                               : RecordKind::kOpenAuction;
+  return NextRecordOfKind(kind, i);
+}
+
+}  // namespace vist

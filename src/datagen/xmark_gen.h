@@ -1,0 +1,53 @@
+// XMARK-like auction substructures (the substitution for xmlgen output —
+// see DESIGN.md "Substitutions").
+//
+// The paper breaks the single huge XMARK document into its repeating
+// substructures (item, person, open_auction, closed_auction) and indexes
+// each instance as one record (§2, §4). We generate those records
+// directly, each wrapped in its ancestor chain from <site> so the paper's
+// Q6-Q8 (/site//item..., /site//person/*/city..., //closed_auction...)
+// evaluate naturally. The value vocabulary includes the constants the
+// queries test: location 'US', city 'Pocatello', person ids, and the date
+// '12/15/1999'.
+
+#ifndef VIST_DATAGEN_XMARK_GEN_H_
+#define VIST_DATAGEN_XMARK_GEN_H_
+
+#include "common/random.h"
+#include "xml/node.h"
+
+namespace vist {
+
+struct XmarkOptions {
+  uint64_t seed = 11;
+  int num_persons = 5000;  // referenced by auctions and sellers
+};
+
+class XmarkGenerator {
+ public:
+  enum class RecordKind { kItem, kPerson, kOpenAuction, kClosedAuction };
+
+  explicit XmarkGenerator(const XmarkOptions& options);
+
+  /// Generates record `i`; kinds cycle in XMARK's rough proportions.
+  xml::Document NextRecord(uint64_t i);
+
+  /// Generates a record of a specific kind.
+  xml::Document NextRecordOfKind(RecordKind kind, uint64_t i);
+
+ private:
+  void FillItem(xml::Node* site, uint64_t i);
+  void FillPerson(xml::Node* site, uint64_t i);
+  void FillOpenAuction(xml::Node* site, uint64_t i);
+  void FillClosedAuction(xml::Node* site, uint64_t i);
+
+  std::string PersonRef();
+  std::string DateString();
+
+  XmarkOptions options_;
+  Random rng_;
+};
+
+}  // namespace vist
+
+#endif  // VIST_DATAGEN_XMARK_GEN_H_

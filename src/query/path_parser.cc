@@ -1,0 +1,200 @@
+#include "query/path_parser.h"
+
+#include <cctype>
+
+namespace vist {
+namespace query {
+namespace {
+
+bool IsNameChar(char c) {
+  return isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<PathExpr> Run() {
+    PathExpr expr;
+    SkipSpace();
+    if (!Lookahead("/")) return Error("path must start with '/' or '//'");
+    while (!Eof()) {
+      SkipSpace();
+      if (Eof()) break;
+      Axis axis;
+      if (Lookahead("//")) {
+        axis = Axis::kDescendant;
+        Advance(2);
+      } else if (Lookahead("/")) {
+        axis = Axis::kChild;
+        Advance(1);
+      } else {
+        return Error("expected '/' or '//'");
+      }
+      VIST_ASSIGN_OR_RETURN(Step step, ParseStep(axis));
+      expr.steps.push_back(std::move(step));
+    }
+    if (expr.steps.empty()) return Error("empty path");
+    return expr;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void Advance(size_t n) { pos_ += n; }
+  void SkipSpace() {
+    while (!Eof() && isspace(static_cast<unsigned char>(Peek()))) Advance(1);
+  }
+
+  Status Error(std::string_view msg) const {
+    return Status::ParseError("offset " + std::to_string(pos_) + ": " +
+                              std::string(msg));
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) Advance(1);
+    if (pos_ == start) return Error("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<Step> ParseStep(Axis axis) {
+    Step step;
+    step.axis = axis;
+    SkipSpace();
+    if (Eof()) return Error("expected a step");
+    if (Peek() == '*') {
+      Advance(1);
+      // step.name stays empty: wildcard.
+    } else if (Peek() == '@') {
+      Advance(1);
+      VIST_ASSIGN_OR_RETURN(step.name, ParseName());
+    } else {
+      VIST_ASSIGN_OR_RETURN(step.name, ParseName());
+    }
+    SkipSpace();
+    while (!Eof() && Peek() == '[') {
+      Advance(1);
+      VIST_ASSIGN_OR_RETURN(Step::Predicate pred, ParsePredicate());
+      step.predicates.push_back(std::move(pred));
+      SkipSpace();
+      if (Eof() || Peek() != ']') return Error("expected ']'");
+      Advance(1);
+      SkipSpace();
+    }
+    return step;
+  }
+
+  bool ConsumeSelfTest() {
+    SkipSpace();
+    if (Lookahead("text()")) {
+      Advance(6);
+      return true;
+    }
+    // "text" used as a self test only when followed by '=' (Table 3 writes
+    // [text='David']); otherwise it is an element named "text".
+    if (Lookahead("text")) {
+      size_t probe = pos_ + 4;
+      while (probe < input_.size() &&
+             isspace(static_cast<unsigned char>(input_[probe]))) {
+        ++probe;
+      }
+      if (probe < input_.size() && input_[probe] == '=') {
+        Advance(4);
+        return true;
+      }
+    }
+    if (Lookahead(".") && !Lookahead(".//")) {
+      Advance(1);
+      return true;
+    }
+    return false;
+  }
+
+  Result<Step::Predicate> ParsePredicate() {
+    Step::Predicate pred;
+    SkipSpace();
+    if (ConsumeSelfTest()) {
+      SkipSpace();
+      if (Eof() || Peek() != '=') return Error("expected '=' after text()");
+      Advance(1);
+      VIST_ASSIGN_OR_RETURN(std::string value, ParseLiteral());
+      pred.value = std::move(value);
+      return pred;
+    }
+    // Relative path: first step has an implicit child axis unless the
+    // predicate starts with './/' or '//'.
+    Axis first_axis = Axis::kChild;
+    if (Lookahead(".//")) {
+      Advance(3);
+      first_axis = Axis::kDescendant;
+    } else if (Lookahead("//")) {
+      Advance(2);
+      first_axis = Axis::kDescendant;
+    }
+    VIST_ASSIGN_OR_RETURN(Step first, ParseStep(first_axis));
+    pred.steps.push_back(std::move(first));
+    while (true) {
+      SkipSpace();
+      Axis axis;
+      if (Lookahead("//")) {
+        axis = Axis::kDescendant;
+        Advance(2);
+      } else if (Lookahead("/")) {
+        axis = Axis::kChild;
+        Advance(1);
+      } else {
+        break;
+      }
+      VIST_ASSIGN_OR_RETURN(Step step, ParseStep(axis));
+      pred.steps.push_back(std::move(step));
+    }
+    SkipSpace();
+    if (!Eof() && Peek() == '=') {
+      Advance(1);
+      VIST_ASSIGN_OR_RETURN(std::string value, ParseLiteral());
+      pred.value = std::move(value);
+    }
+    return pred;
+  }
+
+  Result<std::string> ParseLiteral() {
+    SkipSpace();
+    if (Eof()) return Error("expected a literal");
+    const char c = Peek();
+    if (c == '\'' || c == '"') {
+      Advance(1);
+      size_t start = pos_;
+      while (!Eof() && Peek() != c) Advance(1);
+      if (Eof()) return Error("unterminated string literal");
+      std::string value(input_.substr(start, pos_ - start));
+      Advance(1);
+      return value;
+    }
+    // Bare number.
+    size_t start = pos_;
+    while (!Eof() && (isdigit(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '.' || Peek() == '-')) {
+      Advance(1);
+    }
+    if (pos_ == start) return Error("expected a quoted string or number");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpr> ParsePath(std::string_view input) {
+  return Parser(input).Run();
+}
+
+}  // namespace query
+}  // namespace vist

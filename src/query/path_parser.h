@@ -1,0 +1,34 @@
+// Text → PathExpr parser for the supported XPath subset.
+//
+// Grammar (whitespace allowed between tokens):
+//   path       = ("/" | "//") step { ("/" | "//") step }
+//   step       = nametest { predicate }
+//   nametest   = NAME | "@" NAME | "*"
+//   predicate  = "[" predbody "]"
+//   predbody   = relpath [ "=" literal ] | selftest "=" literal
+//   relpath    = nametest { ("/" | "//") step } | ".//" step ...
+//   selftest   = "text()" | "text" | "."
+//   literal    = "'" chars "'" | '"' chars '"' | NUMBER
+//
+// Examples from the paper: /purchase/seller/item/manufacturer,
+// /book/author[text='David'], //closed_auction[*[person='person1']]
+// /date[text='12/15/1999'], /site//person/*/city[text='Pocatello'].
+
+#ifndef VIST_QUERY_PATH_PARSER_H_
+#define VIST_QUERY_PATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/path_expr.h"
+
+namespace vist {
+namespace query {
+
+/// Parses an absolute path expression. Errors carry the byte offset.
+Result<PathExpr> ParsePath(std::string_view input);
+
+}  // namespace query
+}  // namespace vist
+
+#endif  // VIST_QUERY_PATH_PARSER_H_

@@ -1,0 +1,78 @@
+#include "seq/symbol_table.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace vist {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  names_.emplace_back(name);
+  const Symbol symbol = static_cast<Symbol>(names_.size());
+  by_name_.emplace(names_.back(), symbol);
+  return symbol;
+}
+
+Result<Symbol> SymbolTable::Lookup(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown name '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Result<std::string> SymbolTable::Name(Symbol symbol) const {
+  if (!IsNameSymbol(symbol) || symbol > names_.size()) {
+    return Status::InvalidArgument("not an interned name symbol");
+  }
+  return names_[symbol - 1];
+}
+
+Symbol SymbolTable::ValueSymbol(const Slice& value) {
+  return Hash64(value) | kValueSymbolBit;
+}
+
+Status SymbolTable::Save(const std::string& path) const {
+  std::string blob;
+  PutVarint64(&blob, names_.size());
+  for (const std::string& name : names_) {
+    PutLengthPrefixedSlice(&blob, name);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<SymbolTable> SymbolTable::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string blob = buffer.str();
+
+  Slice input(blob);
+  uint64_t count = 0;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("bad symbol table header in " + path);
+  }
+  SymbolTable table;
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice name;
+    if (!GetLengthPrefixedSlice(&input, &name)) {
+      return Status::Corruption("truncated symbol table " + path);
+    }
+    table.Intern(name.view());
+  }
+  if (!input.empty()) {
+    return Status::Corruption("trailing bytes in symbol table " + path);
+  }
+  return table;
+}
+
+}  // namespace vist

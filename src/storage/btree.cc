@@ -1,0 +1,473 @@
+#include "storage/btree.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vist {
+namespace {
+
+// Routes `key` within an internal node: returns the child to descend into
+// and sets *child_index to the cell index used (-1 for the leftmost child).
+PageId RouteToChild(const NodePage& np, const Slice& key, int* child_index) {
+  int i = np.LowerBound(key);
+  if (i < np.num_cells() && np.Key(i).Compare(key) == 0) {
+    *child_index = i;
+    return np.Child(i);
+  }
+  if (i == 0) {
+    *child_index = -1;
+    return np.next();  // leftmost child
+  }
+  *child_index = i - 1;
+  return np.Child(i - 1);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BTree>> BTree::Create(Pager* pager, BufferPool* pool,
+                                             int meta_slot) {
+  VIST_ASSIGN_OR_RETURN(PageRef root, pool->New());
+  NodePage np(root.data(), pager->page_size());
+  np.Init(kLeafPage);
+  root.MarkDirty();
+  pager->SetMetaSlot(meta_slot, root.id());
+  return std::unique_ptr<BTree>(new BTree(pager, pool, meta_slot, root.id()));
+}
+
+Result<std::unique_ptr<BTree>> BTree::Open(Pager* pager, BufferPool* pool,
+                                           int meta_slot) {
+  PageId root = pager->GetMetaSlot(meta_slot);
+  if (root == kInvalidPageId) {
+    return Status::NotFound("no B+ tree recorded in meta slot");
+  }
+  return std::unique_ptr<BTree>(new BTree(pager, pool, meta_slot, root));
+}
+
+Result<PageId> BTree::FindLeaf(const Slice& key,
+                               std::vector<PathEntry>* path) {
+  PageId current = root_;
+  while (true) {
+    VIST_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
+    NodePage np(ref.data(), pager_->page_size());
+    if (ref.NeedsValidation()) {
+      if (!np.Validate()) {
+        return Status::Corruption("damaged B+ tree page " +
+                                  std::to_string(current));
+      }
+      ref.MarkValidated();
+    }
+    if (np.is_leaf()) return current;
+    int child_index = 0;
+    PageId child = RouteToChild(np, key, &child_index);
+    if (path != nullptr) path->push_back({current, child_index});
+    VIST_CHECK(child != kInvalidPageId) << "internal node with no child";
+    current = child;
+  }
+}
+
+Status BTree::Put(const Slice& key, const Slice& value) {
+  const size_t cell_upper_bound = key.size() + value.size() + 10;
+  if (cell_upper_bound > NodePage::MaxCellSize(pager_->page_size())) {
+    return Status::InvalidArgument("key+value too large for page size");
+  }
+  std::vector<PathEntry> path;
+  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+  NodePage np(leaf.data(), pager_->page_size());
+
+  int pos = np.LowerBound(key);
+  if (pos < np.num_cells() && np.Key(pos).Compare(key) == 0) {
+    np.Remove(pos);  // upsert: replace the existing entry
+  }
+  if (np.InsertLeaf(pos, key, value)) {
+    leaf.MarkDirty();
+    return Status::OK();
+  }
+  leaf.Release();
+  return SplitAndInsert(leaf_id, pos, key, value, kInvalidPageId, &path);
+}
+
+Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
+                             const Slice& value, PageId child,
+                             std::vector<PathEntry>* path) {
+  VIST_ASSIGN_OR_RETURN(PageRef left, pool_->Fetch(page_id));
+  NodePage lp(left.data(), pager_->page_size());
+  const bool leaf = lp.is_leaf();
+  const int n = lp.num_cells();
+
+  // Gather all cells (plus the incoming one at `pos`) into owned storage,
+  // then rebuild both halves. A split touches the whole page anyway, so the
+  // copy costs little and avoids intricate in-place byte shuffling.
+  struct Cell {
+    std::string key;
+    std::string payload;  // leaf value; unused for internal
+    PageId child = kInvalidPageId;
+    size_t bytes = 0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(n + 1);
+  for (int i = 0; i < n; ++i) {
+    Cell c;
+    c.key = lp.Key(i).ToString();
+    if (leaf) {
+      c.payload = lp.Value(i).ToString();
+    } else {
+      c.child = lp.Child(i);
+    }
+    c.bytes = c.key.size() + (leaf ? c.payload.size() : 8) + 10;
+    cells.push_back(std::move(c));
+  }
+  {
+    Cell c;
+    c.key = key.ToString();
+    if (leaf) {
+      c.payload = value.ToString();
+    } else {
+      c.child = child;
+    }
+    c.bytes = c.key.size() + (leaf ? c.payload.size() : 8) + 10;
+    cells.insert(cells.begin() + pos, std::move(c));
+  }
+
+  size_t total_bytes = 0;
+  for (const Cell& c : cells) total_bytes += c.bytes;
+  // Both halves must keep >= 1 cell. For internal nodes the mid cell is
+  // promoted (not kept), so the right half needs a cell beyond mid too.
+  const int max_mid =
+      static_cast<int>(cells.size()) - (leaf ? 1 : 2);
+  int mid;
+  if (pos == n) {
+    // Rightmost insert: the classic sequential-load split. Keep the left
+    // page full and start a nearly empty right page, so ascending inserts
+    // (bulk loads) pack pages densely instead of 50%.
+    mid = max_mid;
+  } else {
+    // Split at ~half the bytes.
+    size_t acc = 0;
+    mid = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      acc += cells[i].bytes;
+      if (acc >= total_bytes / 2) {
+        mid = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+  }
+  if (mid < 1) mid = 1;
+  if (mid > max_mid) mid = max_mid;
+  VIST_CHECK(mid >= 1) << "split of a node with too few cells";
+
+  VIST_ASSIGN_OR_RETURN(PageRef right, pool_->New());
+  NodePage rp(right.data(), pager_->page_size());
+  const PageId old_next = lp.next();
+  const PageId old_prev = lp.prev();
+
+  std::string separator;
+  if (leaf) {
+    lp.Init(kLeafPage);
+    rp.Init(kLeafPage);
+    for (int i = 0; i < mid; ++i) {
+      VIST_CHECK(lp.InsertLeaf(i, cells[i].key, cells[i].payload));
+    }
+    for (size_t i = mid; i < cells.size(); ++i) {
+      VIST_CHECK(rp.InsertLeaf(static_cast<int>(i) - mid, cells[i].key,
+                               cells[i].payload));
+    }
+    separator = cells[mid].key;
+    // Maintain the doubly linked leaf chain.
+    lp.set_prev(old_prev);
+    lp.set_next(right.id());
+    rp.set_prev(left.id());
+    rp.set_next(old_next);
+    if (old_next != kInvalidPageId) {
+      VIST_ASSIGN_OR_RETURN(PageRef nref, pool_->Fetch(old_next));
+      NodePage nnp(nref.data(), pager_->page_size());
+      nnp.set_prev(right.id());
+      nref.MarkDirty();
+    }
+  } else {
+    const PageId old_leftmost = lp.next();
+    lp.Init(kInternalPage);
+    rp.Init(kInternalPage);
+    lp.set_next(old_leftmost);
+    for (int i = 0; i < mid; ++i) {
+      VIST_CHECK(lp.InsertInternal(i, cells[i].key, cells[i].child));
+    }
+    // The mid cell is promoted: its key becomes the separator and its child
+    // becomes the right node's leftmost child.
+    separator = cells[mid].key;
+    rp.set_next(cells[mid].child);
+    for (size_t i = mid + 1; i < cells.size(); ++i) {
+      VIST_CHECK(rp.InsertInternal(static_cast<int>(i) - mid - 1,
+                                   cells[i].key, cells[i].child));
+    }
+  }
+  left.MarkDirty();
+  right.MarkDirty();
+  const PageId right_id = right.id();
+  left.Release();
+  right.Release();
+  return InsertIntoParent(page_id, separator, right_id, path);
+}
+
+Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
+                               PageId right_id,
+                               std::vector<PathEntry>* path) {
+  if (path->empty()) {
+    // The root split: grow the tree by one level.
+    VIST_ASSIGN_OR_RETURN(PageRef root, pool_->New());
+    NodePage np(root.data(), pager_->page_size());
+    np.Init(kInternalPage);
+    np.set_next(left_id);
+    VIST_CHECK(np.InsertInternal(0, sep, right_id));
+    root.MarkDirty();
+    SetRoot(root.id());
+    return Status::OK();
+  }
+  PathEntry entry = path->back();
+  path->pop_back();
+  VIST_ASSIGN_OR_RETURN(PageRef parent, pool_->Fetch(entry.page));
+  NodePage np(parent.data(), pager_->page_size());
+  const int pos = entry.child_index + 1;
+  if (np.InsertInternal(pos, sep, right_id)) {
+    parent.MarkDirty();
+    return Status::OK();
+  }
+  parent.Release();
+  return SplitAndInsert(entry.page, pos, sep, Slice(), right_id, path);
+}
+
+Result<std::string> BTree::Get(const Slice& key) {
+  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+  NodePage np(leaf.data(), pager_->page_size());
+  int pos = np.LowerBound(key);
+  if (pos < np.num_cells() && np.Key(pos).Compare(key) == 0) {
+    return np.Value(pos).ToString();
+  }
+  return Status::NotFound("key not in tree");
+}
+
+Status BTree::Delete(const Slice& key) {
+  std::vector<PathEntry> path;
+  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+  NodePage np(leaf.data(), pager_->page_size());
+  int pos = np.LowerBound(key);
+  if (pos >= np.num_cells() || np.Key(pos).Compare(key) != 0) {
+    return Status::NotFound("key not in tree");
+  }
+  np.Remove(pos);
+  leaf.MarkDirty();
+  if (np.num_cells() == 0 && leaf_id != root_) {
+    leaf.Release();
+    return RemoveEmptyLeaf(leaf_id, &path);
+  }
+  return Status::OK();
+}
+
+Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
+  // Unlink from the sibling chain.
+  {
+    VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+    NodePage np(leaf.data(), pager_->page_size());
+    const PageId prev_id = np.prev();
+    const PageId next_id = np.next();
+    if (prev_id != kInvalidPageId) {
+      VIST_ASSIGN_OR_RETURN(PageRef prev, pool_->Fetch(prev_id));
+      NodePage pp(prev.data(), pager_->page_size());
+      pp.set_next(next_id);
+      prev.MarkDirty();
+    }
+    if (next_id != kInvalidPageId) {
+      VIST_ASSIGN_OR_RETURN(PageRef next, pool_->Fetch(next_id));
+      NodePage nn(next.data(), pager_->page_size());
+      nn.set_prev(prev_id);
+      next.MarkDirty();
+    }
+  }
+  VIST_RETURN_IF_ERROR(pool_->Free(leaf_id));
+
+  // Remove the reference from ancestors, collapsing internals that are left
+  // with a single (leftmost) child.
+  PageId removed_child = leaf_id;
+  while (!path->empty()) {
+    PathEntry entry = path->back();
+    path->pop_back();
+    VIST_ASSIGN_OR_RETURN(PageRef parent, pool_->Fetch(entry.page));
+    NodePage np(parent.data(), pager_->page_size());
+    if (entry.child_index >= 0) {
+      VIST_CHECK(np.Child(entry.child_index) == removed_child);
+      np.Remove(entry.child_index);
+    } else {
+      VIST_CHECK(np.next() == removed_child);
+      VIST_CHECK(np.num_cells() > 0) << "internal node with a sole child";
+      np.set_next(np.Child(0));
+      np.Remove(0);
+    }
+    parent.MarkDirty();
+    if (np.num_cells() > 0) return Status::OK();
+
+    // Only the leftmost child remains: collapse this internal node.
+    const PageId sole_child = np.next();
+    parent.Release();
+    if (path->empty()) {
+      VIST_CHECK(entry.page == root_);
+      SetRoot(sole_child);
+      return pool_->Free(entry.page);
+    }
+    PathEntry gp = path->back();
+    VIST_ASSIGN_OR_RETURN(PageRef grand, pool_->Fetch(gp.page));
+    NodePage gnp(grand.data(), pager_->page_size());
+    if (gp.child_index >= 0) {
+      gnp.SetChild(gp.child_index, sole_child);
+    } else {
+      gnp.set_next(sole_child);
+    }
+    grand.MarkDirty();
+    return pool_->Free(entry.page);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+
+void BTree::Iterator::LoadLeaf(PageId id) {
+  auto ref = tree_->pool_->Fetch(id);
+  if (!ref.ok()) {
+    status_ = ref.status();
+    valid_ = false;
+    return;
+  }
+  leaf_ = std::move(ref).value();
+  if (leaf_.NeedsValidation()) {
+    NodePage np(leaf_.data(), tree_->pager_->page_size());
+    if (!np.Validate()) {
+      status_ = Status::Corruption("damaged B+ tree page " +
+                                   std::to_string(id));
+      valid_ = false;
+      leaf_.Release();
+      return;
+    }
+    leaf_.MarkValidated();
+  }
+}
+
+void BTree::Iterator::Seek(const Slice& target) {
+  status_ = Status::OK();
+  valid_ = false;
+  auto leaf_id = tree_->FindLeaf(target, nullptr);
+  if (!leaf_id.ok()) {
+    status_ = leaf_id.status();
+    return;
+  }
+  LoadLeaf(*leaf_id);
+  if (!status_.ok()) return;
+  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  index_ = np.LowerBound(target);
+  valid_ = true;
+  if (index_ >= np.num_cells()) {
+    // The target sorts past this leaf; continue in the right sibling.
+    Next();
+  }
+}
+
+void BTree::Iterator::SeekToFirst() {
+  status_ = Status::OK();
+  valid_ = false;
+  PageId current = tree_->root_;
+  while (true) {
+    LoadLeaf(current);
+    if (!status_.ok()) return;
+    NodePage np(leaf_.data(), tree_->pager_->page_size());
+    if (np.is_leaf()) break;
+    current = np.next();  // leftmost child
+  }
+  index_ = -1;
+  valid_ = true;
+  Next();
+}
+
+void BTree::Iterator::SeekToLast() {
+  status_ = Status::OK();
+  valid_ = false;
+  PageId current = tree_->root_;
+  while (true) {
+    LoadLeaf(current);
+    if (!status_.ok()) return;
+    NodePage np(leaf_.data(), tree_->pager_->page_size());
+    if (np.is_leaf()) break;
+    const int n = np.num_cells();
+    current = n > 0 ? np.Child(n - 1) : np.next();
+  }
+  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  index_ = np.num_cells();
+  valid_ = true;
+  Prev();
+}
+
+void BTree::Iterator::Next() {
+  VIST_CHECK(valid_);
+  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  ++index_;
+  while (index_ >= np.num_cells()) {
+    const PageId next_id = np.next();
+    if (next_id == kInvalidPageId) {
+      valid_ = false;
+      leaf_.Release();
+      return;
+    }
+    LoadLeaf(next_id);
+    if (!status_.ok()) {
+      valid_ = false;
+      return;
+    }
+    np = NodePage(leaf_.data(), tree_->pager_->page_size());
+    index_ = 0;
+  }
+}
+
+void BTree::Iterator::Prev() {
+  VIST_CHECK(valid_);
+  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  --index_;
+  while (index_ < 0) {
+    const PageId prev_id = np.prev();
+    if (prev_id == kInvalidPageId) {
+      valid_ = false;
+      leaf_.Release();
+      return;
+    }
+    LoadLeaf(prev_id);
+    if (!status_.ok()) {
+      valid_ = false;
+      return;
+    }
+    np = NodePage(leaf_.data(), tree_->pager_->page_size());
+    index_ = np.num_cells() - 1;
+  }
+}
+
+Slice BTree::Iterator::key() const {
+  VIST_CHECK(valid_);
+  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->page_size());
+  return np.Key(index_);
+}
+
+Slice BTree::Iterator::value() const {
+  VIST_CHECK(valid_);
+  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->page_size());
+  return np.Value(index_);
+}
+
+Result<uint64_t> BTree::CountEntries() {
+  auto it = NewIterator();
+  uint64_t count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+  VIST_RETURN_IF_ERROR(it->status());
+  return count;
+}
+
+}  // namespace vist

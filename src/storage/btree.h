@@ -1,0 +1,137 @@
+// A disk-based B+ tree over byte-ordered keys (the paper's substrate: it
+// uses Berkeley DB B+ trees [20]; this is our from-scratch equivalent).
+//
+// Properties:
+//  * variable-length keys and values (bounded by NodePage::MaxCellSize)
+//  * upsert Put, point Get, Delete, and bidirectional range iterators
+//  * leaves are doubly linked for ordered scans in both directions
+//  * lazy structural deletion: emptied leaves are unlinked and freed, but
+//    underfull pages are not rebalanced (the PostgreSQL nbtree strategy) —
+//    simple, and adequate for the paper's insert-mostly workloads
+//  * single-writer / no-concurrent-reader contract per tree; iterators are
+//    invalidated by any mutation
+//
+// Several trees can share one page file: each tree parks its root PageId in
+// a pager metadata slot chosen by the caller.
+
+#ifndef VIST_STORAGE_BTREE_H_
+#define VIST_STORAGE_BTREE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace vist {
+
+class BTree {
+ public:
+  /// Creates a fresh empty tree; stores its root id in `meta_slot`.
+  static Result<std::unique_ptr<BTree>> Create(Pager* pager, BufferPool* pool,
+                                               int meta_slot);
+  /// Opens the tree whose root id is stored in `meta_slot`.
+  static Result<std::unique_ptr<BTree>> Open(Pager* pager, BufferPool* pool,
+                                             int meta_slot);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts or replaces the value for `key`.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Returns the value for `key`, or NotFound.
+  Result<std::string> Get(const Slice& key);
+
+  /// Removes `key`; NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// An ordered cursor over the tree. Mutating the tree invalidates it.
+  /// Usage: it->Seek(k); while (it->Valid()) { ... it->Next(); }
+  /// After the loop, check status() to distinguish end-of-data from error.
+  class Iterator {
+   public:
+    ~Iterator() = default;
+
+    /// Positions at the first entry with key >= `target`.
+    void Seek(const Slice& target);
+    void SeekToFirst();
+    void SeekToLast();
+
+    bool Valid() const { return valid_; }
+    void Next();
+    void Prev();
+
+    /// Valid only while Valid(); the slices point into the pinned page and
+    /// are invalidated by the next cursor movement.
+    Slice key() const;
+    Slice value() const;
+
+    const Status& status() const { return status_; }
+
+   private:
+    friend class BTree;
+    explicit Iterator(BTree* tree) : tree_(tree) {}
+
+    void LoadLeaf(PageId id);
+
+    BTree* tree_;
+    PageRef leaf_;
+    int index_ = 0;
+    bool valid_ = false;
+    Status status_;
+  };
+
+  std::unique_ptr<Iterator> NewIterator() {
+    return std::unique_ptr<Iterator>(new Iterator(this));
+  }
+
+  /// Number of entries, by full scan (test/debug helper).
+  Result<uint64_t> CountEntries();
+
+ private:
+  BTree(Pager* pager, BufferPool* pool, int meta_slot, PageId root)
+      : pager_(pager), pool_(pool), meta_slot_(meta_slot), root_(root) {}
+
+  struct PathEntry {
+    PageId page;
+    int child_index;  // -1 when routed through the leftmost child pointer
+  };
+
+  /// Descends from the root to the leaf that owns `key`, recording the
+  /// internal path in `path` (may be null).
+  Result<PageId> FindLeaf(const Slice& key, std::vector<PathEntry>* path);
+
+  /// Splits the full node `page_id` while inserting (key,value|child) at
+  /// cell position `pos`, then propagates the separator upward along `path`.
+  Status SplitAndInsert(PageId page_id, int pos, const Slice& key,
+                        const Slice& value, PageId child,
+                        std::vector<PathEntry>* path);
+
+  /// Inserts a separator cell into the parent on `path` (or grows a new
+  /// root) after `left_id` split off `right_id` with first key `sep`.
+  Status InsertIntoParent(PageId left_id, const Slice& sep, PageId right_id,
+                          std::vector<PathEntry>* path);
+
+  /// Unlinks and frees an emptied leaf, fixing sibling links and removing
+  /// its reference from ancestors (collapsing emptied internals).
+  Status RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path);
+
+  void SetRoot(PageId root) {
+    root_ = root;
+    pager_->SetMetaSlot(meta_slot_, root);
+  }
+
+  Pager* pager_;
+  BufferPool* pool_;
+  int meta_slot_;
+  PageId root_;
+};
+
+}  // namespace vist
+
+#endif  // VIST_STORAGE_BTREE_H_

@@ -1,0 +1,143 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace vist {
+
+using internal_buffer::Frame;
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::Release() {
+  if (frame_ != nullptr) {
+    pool_->Unpin(frame_);
+    frame_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity) {
+  VIST_CHECK(capacity_ >= 8) << "buffer pool too small to hold a tree path";
+}
+
+BufferPool::~BufferPool() {
+  Status s = FlushAll();
+  if (!s.ok()) VIST_LOG(Error) << "buffer pool close: " << s.ToString();
+  for (auto& [id, frame] : frames_) {
+    if (frame->pin_count != 0) {
+      VIST_LOG(Error) << "page " << id << " still pinned at pool destruction";
+    }
+  }
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  VIST_CHECK(frame->pin_count > 0);
+  if (--frame->pin_count == 0) {
+    lru_.push_back(frame);
+    frame->lru_pos = std::prev(lru_.end());
+    frame->in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::InvalidArgument(
+        "buffer pool exhausted: all frames pinned (pin leak?)");
+  }
+  Frame* victim = lru_.front();
+  lru_.pop_front();
+  victim->in_lru = false;
+  if (victim->dirty) {
+    VIST_RETURN_IF_ERROR(pager_->WritePage(victim->id, victim->data.get()));
+  }
+  frames_.erase(victim->id);
+  return Status::OK();
+}
+
+Result<Frame*> BufferPool::GetFrame(PageId id, bool load) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame* frame = it->second.get();
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+    }
+    ++frame->pin_count;
+    return frame;
+  }
+  ++misses_;
+  while (frames_.size() >= capacity_) {
+    VIST_RETURN_IF_ERROR(EvictOne());
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->data = std::make_unique<char[]>(pager_->page_size());
+  if (load) {
+    Status s = pager_->ReadPage(id, frame->data.get());
+    if (!s.ok()) return s;
+    frame->needs_validation = true;
+  } else {
+    memset(frame->data.get(), 0, pager_->page_size());
+  }
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  return raw;
+}
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  VIST_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/true));
+  return PageRef(this, frame);
+}
+
+Result<PageRef> BufferPool::New() {
+  VIST_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  VIST_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/false));
+  frame->dirty = true;
+  return PageRef(this, frame);
+}
+
+Status BufferPool::Free(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    if (frame->pin_count != 0) {
+      return Status::InvalidArgument("Free of a pinned page");
+    }
+    if (frame->in_lru) lru_.erase(frame->lru_pos);
+    frames_.erase(it);
+  }
+  return pager_->FreePage(id);
+}
+
+void BufferPool::SimulateCrashForTesting() {
+  lru_.clear();
+  frames_.clear();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) {
+      VIST_RETURN_IF_ERROR(pager_->WritePage(id, frame->data.get()));
+      frame->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vist

@@ -1,0 +1,133 @@
+// BufferPool: an LRU cache of page frames with pin counts and dirty
+// tracking, between the B+ tree and the Pager.
+//
+// Access pattern: callers Fetch() a page and receive a PageRef — an RAII pin
+// that keeps the frame resident and writable. Dirty frames are written back
+// when evicted or on FlushAll(). The pool is sized in pages; eviction only
+// considers unpinned frames and aborts (programmer error) if every frame is
+// pinned, which would mean a pin leak.
+
+#ifndef VIST_STORAGE_BUFFER_POOL_H_
+#define VIST_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/pager.h"
+
+namespace vist {
+
+class BufferPool;
+
+namespace internal_buffer {
+
+struct Frame {
+  PageId id = kInvalidPageId;
+  std::unique_ptr<char[]> data;
+  int pin_count = 0;
+  bool dirty = false;
+  // Set when the frame was filled from disk and no consumer has validated
+  // its contents yet (cleared via PageRef::MarkValidated).
+  bool needs_validation = false;
+  // Position in the LRU list while unpinned (valid iff pin_count == 0).
+  std::list<Frame*>::iterator lru_pos;
+  bool in_lru = false;
+};
+
+}  // namespace internal_buffer
+
+/// RAII pin on a cached page. Movable, not copyable. While a PageRef exists
+/// the underlying frame stays in memory at a stable address.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  ~PageRef();
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const { return frame_->id; }
+  char* data() { return frame_->data.get(); }
+  const char* data() const { return frame_->data.get(); }
+
+  /// Marks the page as modified; it will be written back before eviction.
+  void MarkDirty() { frame_->dirty = true; }
+
+  /// True when the frame came from disk and has not been validated since.
+  /// Callers that structurally check untrusted pages (the B+ tree) do so
+  /// only when this is set, then call MarkValidated — once per residence,
+  /// not per fetch.
+  bool NeedsValidation() const { return frame_->needs_validation; }
+  void MarkValidated() { frame_->needs_validation = false; }
+
+  /// Drops the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, internal_buffer::Frame* frame)
+      : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  internal_buffer::Frame* frame_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the maximum number of resident frames. The pager must
+  /// outlive the pool.
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned reference to page `id`, reading it from disk on miss.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a new page (via the pager), zero-fills it in cache, and
+  /// returns it pinned and dirty.
+  Result<PageRef> New();
+
+  /// Frees page `id` in the pager and drops any cached frame. The page must
+  /// not be pinned.
+  Status Free(PageId id);
+
+  /// Writes back every dirty frame (does not evict).
+  Status FlushAll();
+
+  /// Test hook: discards every cached frame, dirty or not, as a crashed
+  /// process would. Outstanding pins become dangling — callers must have
+  /// released them.
+  void SimulateCrashForTesting();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  friend class PageRef;
+
+  void Unpin(internal_buffer::Frame* frame);
+  Result<internal_buffer::Frame*> GetFrame(PageId id, bool load);
+  Status EvictOne();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<internal_buffer::Frame>> frames_;
+  // Least-recently-used at the front; only unpinned frames are listed.
+  std::list<internal_buffer::Frame*> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace vist
+
+#endif  // VIST_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,370 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace vist {
+namespace {
+
+constexpr uint64_t kMagic = 0x5649535450475231ULL;        // "VISTPGR1"
+constexpr uint64_t kJournalMagic = 0x564953544a4e4c31ULL;  // "VISTJNL1"
+
+// Header field offsets within page 0.
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kPageSizeOffset = 8;
+constexpr size_t kPageCountOffset = 12;
+constexpr size_t kFreelistOffset = 20;
+constexpr size_t kMetaSlotsOffset = 28;
+constexpr size_t kHeaderBytes = kMetaSlotsOffset + 8 * kNumMetaSlots;
+
+// Journal header: magic(8) page_size(4) page_count(8) freelist(8) metas.
+constexpr size_t kJournalHeaderBytes = 8 + 4 + 8 + 8 + 8 * kNumMetaSlots;
+
+std::string Errno(const char* op, const std::string& path) {
+  std::string msg = op;
+  msg += " ";
+  msg += path;
+  msg += ": ";
+  msg += strerror(errno);
+  return msg;
+}
+
+std::string JournalPath(const std::string& path) { return path + ".journal"; }
+
+// Writes the header page from explicit fields (shared by the pager and by
+// journal recovery, which runs before a Pager object exists).
+Status WriteHeaderRaw(int fd, const std::string& path, uint32_t page_size,
+                      uint64_t page_count, PageId freelist,
+                      const PageId* meta_slots) {
+  std::vector<char> buf(page_size, 0);
+  EncodeFixed64LE(buf.data() + kMagicOffset, kMagic);
+  EncodeFixed32LE(buf.data() + kPageSizeOffset, page_size);
+  EncodeFixed64LE(buf.data() + kPageCountOffset, page_count);
+  EncodeFixed64LE(buf.data() + kFreelistOffset, freelist);
+  for (int i = 0; i < kNumMetaSlots; ++i) {
+    EncodeFixed64LE(buf.data() + kMetaSlotsOffset + 8 * i, meta_slots[i]);
+  }
+  ssize_t n = pwrite(fd, buf.data(), page_size, 0);
+  if (n != static_cast<ssize_t>(page_size)) {
+    return Status::IOError(Errno("pwrite header", path));
+  }
+  return Status::OK();
+}
+
+uint64_t EntryChecksum(PageId id, const char* data, uint32_t page_size) {
+  char id_buf[8];
+  EncodeFixed64LE(id_buf, id);
+  return Hash64(Slice(data, page_size), Hash64(Slice(id_buf, 8)));
+}
+
+bool ReadExactly(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = read(fd, buf + done, n - done);
+    if (r <= 0) return false;
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFully(int fd, const char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = write(fd, buf + done, n - done);
+    if (w <= 0) return false;
+    done += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+Pager::Pager(int fd, std::string path, uint32_t page_size)
+    : fd_(fd), path_(std::move(path)), page_size_(page_size) {}
+
+Pager::~Pager() {
+  if (fd_ >= 0) {
+    Status s = Sync();
+    if (!s.ok()) {
+      VIST_LOG(Error) << "pager close: " << s.ToString();
+    }
+    close(fd_);
+  }
+  if (journal_fd_ >= 0) close(journal_fd_);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           const PagerOptions& options) {
+  if (options.page_size < 512 || options.page_size > 32768 ||
+      (options.page_size & (options.page_size - 1))) {
+    // The upper bound keeps 16-bit in-page offsets valid.
+    return Status::InvalidArgument(
+        "page_size must be a power of two in [512, 32768]");
+  }
+  int fd = open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IOError(Errno("open", path));
+
+  off_t file_size = lseek(fd, 0, SEEK_END);
+  if (file_size < 0) {
+    close(fd);
+    return Status::IOError(Errno("lseek", path));
+  }
+
+  // A leftover journal means the last batch never committed: roll back to
+  // the committed state before reading anything.
+  if (file_size > 0 && std::filesystem::exists(JournalPath(path))) {
+    Status s = RecoverFromJournal(fd, path, options.page_size);
+    if (!s.ok()) {
+      close(fd);
+      return s;
+    }
+  }
+
+  std::unique_ptr<Pager> pager(new Pager(fd, path, options.page_size));
+  if (file_size == 0) {
+    // Fresh file: write the initial header.
+    Status s = WriteHeaderRaw(fd, path, pager->page_size_,
+                              pager->page_count_, pager->freelist_head_,
+                              pager->meta_slots_);
+    if (!s.ok()) return s;
+  } else {
+    Status s = pager->ReadHeader();
+    if (!s.ok()) return s;
+    if (pager->page_size_ != options.page_size) {
+      return Status::InvalidArgument(
+          "page_size mismatch with existing file " + path);
+    }
+  }
+  return pager;
+}
+
+Status Pager::RecoverFromJournal(int fd, const std::string& path,
+                                 uint32_t page_size) {
+  const std::string journal_path = JournalPath(path);
+  int jfd = open(journal_path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (jfd < 0) return Status::IOError(Errno("open journal", journal_path));
+
+  char header[kJournalHeaderBytes];
+  if (!ReadExactly(jfd, header, sizeof(header))) {
+    // Torn before the header finished: nothing was overwritten yet (the
+    // journal is written before the first data write), so just drop it.
+    close(jfd);
+    std::filesystem::remove(journal_path);
+    return Status::OK();
+  }
+  if (DecodeFixed64LE(header) != kJournalMagic ||
+      DecodeFixed32LE(header + 8) != page_size) {
+    close(jfd);
+    return Status::Corruption("bad journal header for " + path);
+  }
+  const uint64_t page_count = DecodeFixed64LE(header + 12);
+  const PageId freelist = DecodeFixed64LE(header + 20);
+  PageId meta_slots[kNumMetaSlots];
+  for (int i = 0; i < kNumMetaSlots; ++i) {
+    meta_slots[i] = DecodeFixed64LE(header + 28 + 8 * i);
+  }
+
+  // Restore every complete, checksummed pre-image; a torn tail entry is
+  // one whose data write never happened, so it is safe to skip.
+  std::vector<char> entry(8 + page_size + 8);
+  while (ReadExactly(jfd, entry.data(), entry.size())) {
+    const PageId id = DecodeFixed64LE(entry.data());
+    const uint64_t checksum =
+        DecodeFixed64LE(entry.data() + 8 + page_size);
+    if (checksum != EntryChecksum(id, entry.data() + 8, page_size)) break;
+    if (pwrite(fd, entry.data() + 8, page_size,
+               static_cast<off_t>(id) * page_size) !=
+        static_cast<ssize_t>(page_size)) {
+      close(jfd);
+      return Status::IOError(Errno("rollback pwrite", path));
+    }
+  }
+  close(jfd);
+
+  VIST_RETURN_IF_ERROR(WriteHeaderRaw(fd, path, page_size, page_count,
+                                      freelist, meta_slots));
+  if (ftruncate(fd, static_cast<off_t>(page_count) * page_size) != 0) {
+    return Status::IOError(Errno("ftruncate", path));
+  }
+  if (fdatasync(fd) != 0) return Status::IOError(Errno("fdatasync", path));
+  std::filesystem::remove(journal_path);
+  return Status::OK();
+}
+
+Status Pager::EnsureBatch() {
+  if (in_batch_) return Status::OK();
+  const std::string journal_path = JournalPath(path_);
+  journal_fd_ = open(journal_path.c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (journal_fd_ < 0) {
+    return Status::IOError(Errno("open journal", journal_path));
+  }
+  char header[kJournalHeaderBytes];
+  EncodeFixed64LE(header, kJournalMagic);
+  EncodeFixed32LE(header + 8, page_size_);
+  EncodeFixed64LE(header + 12, page_count_);
+  EncodeFixed64LE(header + 20, freelist_head_);
+  for (int i = 0; i < kNumMetaSlots; ++i) {
+    EncodeFixed64LE(header + 28 + 8 * i, meta_slots_[i]);
+  }
+  if (!WriteFully(journal_fd_, header, sizeof(header))) {
+    return Status::IOError(Errno("write journal", journal_path));
+  }
+  batch_start_page_count_ = page_count_;
+  journaled_.clear();
+  in_batch_ = true;
+  return Status::OK();
+}
+
+Status Pager::JournalPage(PageId id) {
+  VIST_DCHECK(in_batch_);
+  if (id >= batch_start_page_count_) return Status::OK();  // new this batch
+  if (!journaled_.insert(id).second) return Status::OK();  // already logged
+  std::vector<char> entry(8 + page_size_ + 8);
+  EncodeFixed64LE(entry.data(), id);
+  ssize_t n = pread(fd_, entry.data() + 8, page_size_,
+                    static_cast<off_t>(id) * page_size_);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(Errno("pread pre-image", path_));
+  }
+  EncodeFixed64LE(entry.data() + 8 + page_size_,
+                  EntryChecksum(id, entry.data() + 8, page_size_));
+  if (!WriteFully(journal_fd_, entry.data(), entry.size())) {
+    return Status::IOError(Errno("write journal", path_));
+  }
+  return Status::OK();
+}
+
+Status Pager::WriteHeader() {
+  VIST_RETURN_IF_ERROR(WriteHeaderRaw(fd_, path_, page_size_, page_count_,
+                                      freelist_head_, meta_slots_));
+  header_dirty_ = false;
+  return Status::OK();
+}
+
+Status Pager::ReadHeader() {
+  std::vector<char> buf(kHeaderBytes);
+  ssize_t n = pread(fd_, buf.data(), kHeaderBytes, 0);
+  if (n != static_cast<ssize_t>(kHeaderBytes)) {
+    return Status::Corruption("short read on pager header of " + path_);
+  }
+  if (DecodeFixed64LE(buf.data() + kMagicOffset) != kMagic) {
+    return Status::Corruption("bad magic in " + path_);
+  }
+  page_size_ = DecodeFixed32LE(buf.data() + kPageSizeOffset);
+  page_count_ = DecodeFixed64LE(buf.data() + kPageCountOffset);
+  freelist_head_ = DecodeFixed64LE(buf.data() + kFreelistOffset);
+  for (int i = 0; i < kNumMetaSlots; ++i) {
+    meta_slots_[i] = DecodeFixed64LE(buf.data() + kMetaSlotsOffset + 8 * i);
+  }
+  return Status::OK();
+}
+
+Status Pager::ReadPage(PageId id, char* buf) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("ReadPage: page id out of range");
+  }
+  ssize_t n = pread(fd_, buf, page_size_,
+                    static_cast<off_t>(id) * page_size_);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(Errno("pread", path_));
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("WritePage: page id out of range");
+  }
+  VIST_RETURN_IF_ERROR(EnsureBatch());
+  VIST_RETURN_IF_ERROR(JournalPage(id));
+  ssize_t n = pwrite(fd_, buf, page_size_,
+                     static_cast<off_t>(id) * page_size_);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(Errno("pwrite", path_));
+  }
+  return Status::OK();
+}
+
+Result<PageId> Pager::AllocatePage() {
+  VIST_RETURN_IF_ERROR(EnsureBatch());
+  header_dirty_ = true;
+  if (freelist_head_ != kInvalidPageId) {
+    PageId id = freelist_head_;
+    char next_buf[8];
+    ssize_t n = pread(fd_, next_buf, 8, static_cast<off_t>(id) * page_size_);
+    if (n != 8) return Status::IOError(Errno("pread freelist", path_));
+    freelist_head_ = DecodeFixed64LE(next_buf);
+    return id;
+  }
+  PageId id = page_count_++;
+  // Extend the file so subsequent ReadPage of this id succeeds.
+  std::vector<char> zero(page_size_, 0);
+  ssize_t n = pwrite(fd_, zero.data(), page_size_,
+                     static_cast<off_t>(id) * page_size_);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(Errno("pwrite extend", path_));
+  }
+  return id;
+}
+
+Status Pager::FreePage(PageId id) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("FreePage: page id out of range");
+  }
+  VIST_RETURN_IF_ERROR(EnsureBatch());
+  VIST_RETURN_IF_ERROR(JournalPage(id));
+  char next_buf[8];
+  EncodeFixed64LE(next_buf, freelist_head_);
+  ssize_t n = pwrite(fd_, next_buf, 8, static_cast<off_t>(id) * page_size_);
+  if (n != 8) return Status::IOError(Errno("pwrite freelist", path_));
+  freelist_head_ = id;
+  header_dirty_ = true;
+  return Status::OK();
+}
+
+PageId Pager::GetMetaSlot(int slot) const {
+  VIST_CHECK(slot >= 0 && slot < kNumMetaSlots);
+  return meta_slots_[slot];
+}
+
+void Pager::SetMetaSlot(int slot, PageId id) {
+  VIST_CHECK(slot >= 0 && slot < kNumMetaSlots);
+  // Starting the batch snapshots the *old* meta values first.
+  Status s = EnsureBatch();
+  if (!s.ok()) VIST_LOG(Error) << "SetMetaSlot: " << s.ToString();
+  meta_slots_[slot] = id;
+  header_dirty_ = true;
+}
+
+Status Pager::Sync() {
+  if (header_dirty_) VIST_RETURN_IF_ERROR(WriteHeader());
+  if (fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync", path_));
+  if (in_batch_) {
+    close(journal_fd_);
+    journal_fd_ = -1;
+    std::filesystem::remove(JournalPath(path_));
+    journaled_.clear();
+    in_batch_ = false;
+  }
+  return Status::OK();
+}
+
+void Pager::SimulateCrashForTesting() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  if (journal_fd_ >= 0) close(journal_fd_);
+  journal_fd_ = -1;
+  // The journal file stays on disk: reopening the path must roll back.
+}
+
+}  // namespace vist

@@ -1,0 +1,95 @@
+#include "suffix/naive_search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace vist {
+namespace {
+
+using query::QuerySequence;
+using query::QuerySequenceElement;
+
+// Collects every doc id attached at or under `node` ("Output all document
+// IDs attached to the nodes under node n" in Algorithm 1).
+void CollectDocIds(const TrieNode* node, std::set<uint64_t>* out) {
+  out->insert(node->doc_ids.begin(), node->doc_ids.end());
+  for (const auto& child : node->children) {
+    CollectDocIds(child.get(), out);
+  }
+}
+
+// Tests node's concrete (symbol, prefix) against query element qi given the
+// concrete matches of earlier elements (wildcard instantiation through the
+// query-tree parent, as §3.2's example instantiates '*' to 'S').
+bool ElementMatches(const QuerySequence& query, size_t qi,
+                    const std::vector<const TrieNode*>& matched,
+                    const TrieNode& node) {
+  const QuerySequenceElement& elem = query[qi];
+  if (node.element.symbol != elem.symbol) return false;
+  const std::vector<Symbol>& concrete = node.element.prefix;
+
+  size_t required_len = 0;
+  size_t tail_from = 0;
+  if (elem.parent >= 0) {
+    const TrieNode* bound = matched[elem.parent];
+    // Required concrete prefix: the parent's concrete prefix plus itself.
+    if (concrete.size() < bound->element.prefix.size() + 1) return false;
+    if (!std::equal(bound->element.prefix.begin(),
+                    bound->element.prefix.end(), concrete.begin())) {
+      return false;
+    }
+    if (concrete[bound->element.prefix.size()] != bound->element.symbol) {
+      return false;
+    }
+    required_len = bound->element.prefix.size() + 1;
+    tail_from = query[elem.parent].pattern.size() + 1;
+  }
+  size_t min_extra = 0;
+  bool unbounded = false;
+  for (size_t i = tail_from; i < elem.pattern.size(); ++i) {
+    if (elem.pattern[i] == kStarSymbol) {
+      ++min_extra;
+    } else {
+      VIST_CHECK(elem.pattern[i] == kDescendantSymbol)
+          << "non-wildcard in pattern tail";
+      unbounded = true;
+    }
+  }
+  const size_t extra = concrete.size() - required_len;
+  return unbounded ? extra >= min_extra : extra == min_extra;
+}
+
+// NaiveSearch(n, i) of Algorithm 1: try to match query[qi..] under `node`.
+void SearchUnder(const QuerySequence& query, size_t qi, const TrieNode* node,
+                 std::vector<const TrieNode*>* matched,
+                 std::set<uint64_t>* results) {
+  if (qi == query.size()) {
+    CollectDocIds(node, results);
+    return;
+  }
+  // "for each node c that is a descendant of node n": full subtree walk.
+  for (const auto& child : node->children) {
+    if (ElementMatches(query, qi, *matched, *child)) {
+      (*matched)[qi] = child.get();
+      SearchUnder(query, qi + 1, child.get(), matched, results);
+    }
+    SearchUnder(query, qi, child.get(), matched, results);
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> NaiveSearch(const SequenceTrie& trie,
+                                  const query::CompiledQuery& compiled) {
+  std::set<uint64_t> results;
+  for (const QuerySequence& alt : compiled.alternatives) {
+    if (alt.empty()) continue;
+    std::vector<const TrieNode*> matched(alt.size(), nullptr);
+    SearchUnder(alt, 0, trie.root(), &matched, &results);
+  }
+  return std::vector<uint64_t>(results.begin(), results.end());
+}
+
+}  // namespace vist

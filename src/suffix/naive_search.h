@@ -1,0 +1,28 @@
+// Algorithm 1 (§3.2): naive non-contiguous subsequence matching by suffix
+// tree traversal.
+//
+// For each query element the search scans *every* node in the subtree of
+// the previously matched node (the S-Ancestorship check is the traversal
+// itself) and tests its (Symbol, Prefix) against the query element (the
+// D-Ancestorship check). This is exactly the cost the paper's RIST/ViST
+// "jump" eliminates; it is kept as a baseline and as a second oracle.
+
+#ifndef VIST_SUFFIX_NAIVE_SEARCH_H_
+#define VIST_SUFFIX_NAIVE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_sequence.h"
+#include "suffix/trie.h"
+
+namespace vist {
+
+/// Returns the sorted, deduplicated doc ids matching the compiled query
+/// (union over its alternative sequences), by Algorithm-1 traversal.
+std::vector<uint64_t> NaiveSearch(const SequenceTrie& trie,
+                                  const query::CompiledQuery& compiled);
+
+}  // namespace vist
+
+#endif  // VIST_SUFFIX_NAIVE_SEARCH_H_

@@ -1,0 +1,55 @@
+#include "suffix/trie.h"
+
+#include "seq/key_codec.h"
+
+namespace vist {
+
+SequenceTrie::SequenceTrie() : root_(std::make_unique<TrieNode>()) {}
+
+TrieNode* TrieNode::FindChild(const SequenceElement& element) const {
+  auto it = child_by_key.find(EncodeDKey(element.symbol, element.prefix));
+  if (it == child_by_key.end()) return nullptr;
+  return children[it->second].get();
+}
+
+void SequenceTrie::Insert(const Sequence& sequence, uint64_t doc_id) {
+  TrieNode* current = root_.get();
+  for (const SequenceElement& element : sequence) {
+    std::string key = EncodeDKey(element.symbol, element.prefix);
+    auto it = current->child_by_key.find(key);
+    if (it != current->child_by_key.end()) {
+      current = current->children[it->second].get();
+      continue;
+    }
+    auto node = std::make_unique<TrieNode>();
+    node->element = element;
+    node->parent = current;
+    current->child_by_key.emplace(std::move(key), current->children.size());
+    current->children.push_back(std::move(node));
+    ++num_nodes_;
+    current = current->children.back().get();
+  }
+  current->doc_ids.push_back(doc_id);
+}
+
+namespace {
+
+// Returns the subtree size (descendants + self) while assigning labels.
+uint64_t LabelSubtree(TrieNode* node, uint64_t* counter) {
+  node->n = (*counter)++;
+  uint64_t descendants = 0;
+  for (auto& child : node->children) {
+    descendants += LabelSubtree(child.get(), counter);
+  }
+  node->size = descendants;
+  return descendants + 1;
+}
+
+}  // namespace
+
+void LabelTrie(SequenceTrie* trie) {
+  uint64_t counter = 0;
+  LabelSubtree(trie->root(), &counter);
+}
+
+}  // namespace vist

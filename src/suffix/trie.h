@@ -1,0 +1,75 @@
+// The materialized "suffix tree" of structure-encoded sequences (paper
+// Fig. 5).
+//
+// Despite the name the paper inherits from string indexing, the structure
+// is a trie of the *whole* sequences (Fig. 5 inserts Doc1 and Doc2 from
+// their first elements; Algorithm 2 likewise always starts at the root
+// scope and may begin matching at any depth because subsequence matching is
+// non-contiguous). Each trie node is identified by one (symbol, prefix)
+// element; a document is attached to the node its last element reaches.
+//
+// This in-memory structure backs the naive algorithm (§3.2) and provides
+// the exact <n, size> labels for RIST (§3.3). ViST never materializes it —
+// that is the whole point of §3.4.
+
+#ifndef VIST_SUFFIX_TRIE_H_
+#define VIST_SUFFIX_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace vist {
+
+struct TrieNode {
+  /// The (symbol, prefix) element this node represents. The root is a
+  /// synthetic node with symbol == kInvalidSymbol.
+  SequenceElement element;
+  TrieNode* parent = nullptr;
+  std::vector<std::unique_ptr<TrieNode>> children;
+  /// Documents whose sequence ends at this node.
+  std::vector<uint64_t> doc_ids;
+  /// Static labels (filled by LabelTrie): preorder rank and descendant
+  /// count, the <n, size> of §3.3.
+  uint64_t n = 0;
+  uint64_t size = 0;
+
+  /// Returns the child for `element`, or nullptr.
+  TrieNode* FindChild(const SequenceElement& element) const;
+
+  /// Child lookup by encoded element (see seq/key_codec.h).
+  std::unordered_map<std::string, size_t> child_by_key;
+};
+
+class SequenceTrie {
+ public:
+  SequenceTrie();
+
+  SequenceTrie(const SequenceTrie&) = delete;
+  SequenceTrie& operator=(const SequenceTrie&) = delete;
+
+  /// Inserts a document's sequence, creating nodes as needed, and attaches
+  /// `doc_id` to the final node.
+  void Insert(const Sequence& sequence, uint64_t doc_id);
+
+  TrieNode* root() const { return root_.get(); }
+  /// Total nodes, synthetic root excluded.
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::unique_ptr<TrieNode> root_;
+  size_t num_nodes_ = 0;
+};
+
+/// Assigns <n, size> labels by depth-first traversal (§3.3 "Index
+/// Construction"): n is the preorder rank (root = 0) and size the number of
+/// descendants, so y is in x's subtree iff n_y ∈ (n_x, n_x + size_x].
+void LabelTrie(SequenceTrie* trie);
+
+}  // namespace vist
+
+#endif  // VIST_SUFFIX_TRIE_H_

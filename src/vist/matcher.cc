@@ -1,0 +1,197 @@
+#include "vist/matcher.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "seq/key_codec.h"
+
+namespace vist {
+namespace {
+
+using query::QuerySequence;
+using query::QuerySequenceElement;
+
+// A query element's concrete binding during the search.
+struct BoundMatch {
+  std::vector<Symbol> prefix;
+  Symbol symbol = kInvalidSymbol;
+  NodeRecord record;
+};
+
+class Searcher {
+ public:
+  Searcher(const MatchContext& context, const QuerySequence& query,
+           MatchCounters* counters, std::set<uint64_t>* results)
+      : context_(context),
+        query_(query),
+        counters_(counters),
+        results_(results),
+        bound_(query.size()) {}
+
+  Status Run() {
+    // The virtual root's scope encloses every node.
+    Search(0, Scope{0, kMaxScope});
+    return status_;
+  }
+
+ private:
+  void Count(uint64_t MatchCounters::* field, uint64_t delta = 1) {
+    if (counters_ != nullptr) counters_->*field += delta;
+  }
+
+  // Matches query elements qi.. inside `enclosing`, the scope of the node
+  // matched for element qi-1 (S-Ancestorship: labels in (n, n+size)).
+  void Search(size_t qi, const Scope& enclosing) {
+    if (!status_.ok()) return;
+    if (qi == query_.size()) {
+      if (context_.collect_doc_ids) CollectDocIds(bound_[qi - 1].record);
+      return;
+    }
+    const QuerySequenceElement& elem = query_[qi];
+
+    // Instantiate the pattern with the query-tree parent's concrete match
+    // (§3.3: the parent's match "instantiates" the shared wildcards); what
+    // remains unresolved is a trailing run of wildcards.
+    std::vector<Symbol> required;
+    size_t tail_from = 0;
+    if (elem.parent >= 0) {
+      const BoundMatch& parent = bound_[elem.parent];
+      required = parent.prefix;
+      required.push_back(parent.symbol);
+      tail_from = query_[elem.parent].pattern.size() + 1;
+    }
+    size_t min_extra = 0;
+    bool unbounded = false;
+    for (size_t i = tail_from; i < elem.pattern.size(); ++i) {
+      if (elem.pattern[i] == kStarSymbol) {
+        ++min_extra;
+      } else {
+        VIST_CHECK(elem.pattern[i] == kDescendantSymbol)
+            << "non-wildcard in instantiated pattern tail";
+        unbounded = true;
+      }
+    }
+
+    // '//' expands into "a series of '*' queries" (§3.3): one prefix-length
+    // bucket per depth up to the deepest prefix in the index.
+    const size_t depth_lo = required.size() + min_extra;
+    const size_t depth_hi =
+        unbounded ? std::max<uint64_t>(context_.max_depth, depth_lo)
+                  : depth_lo;
+    for (size_t depth = depth_lo;
+         depth <= depth_hi && depth <= kMaxPrefixDepth && status_.ok();
+         ++depth) {
+      SearchDepth(qi, elem, required, depth, enclosing);
+    }
+  }
+
+  // Scans all D-keys with elem.symbol, the given prefix length, and the
+  // required known prefix; for each, range-scans its S-Ancestor entries
+  // inside `enclosing` and recurses.
+  void SearchDepth(size_t qi, const QuerySequenceElement& elem,
+                   const std::vector<Symbol>& required, size_t depth,
+                   const Scope& enclosing) {
+    const std::string partial =
+        EncodeDKeyPartial(elem.symbol, depth, required);
+    const std::string partial_end = PrefixRangeEnd(partial);
+    // A node is a descendant of the enclosing node x iff its parent label
+    // lies in [x.n, x.n + size) — see seq/key_codec.h.
+    const uint64_t parent_lo = enclosing.n;
+    const uint64_t parent_hi = enclosing.n + enclosing.size;
+
+    auto it = context_.entry_tree->NewIterator();
+    it->Seek(partial);
+    while (status_.ok() && it->Valid() &&
+           (partial_end.empty() || it->key().Compare(partial_end) < 0)) {
+      Slice dkey_slice;
+      uint64_t parent_n = 0, n = 0;
+      if (!DecodeEntryKey(it->key(), &dkey_slice, &parent_n, &n)) {
+        status_ = Status::Corruption("malformed entry key in index");
+        return;
+      }
+      const std::string dkey = dkey_slice.ToString();
+
+      // S-Ancestorship range query within this D-key group.
+      it->Seek(EncodeEntryKey(dkey, parent_lo, 0));
+      while (it->Valid() && it->key().StartsWith(dkey)) {
+        Count(&MatchCounters::entries_scanned);
+        Slice seen_dkey;
+        if (!DecodeEntryKey(it->key(), &seen_dkey, &parent_n, &n) ||
+            seen_dkey.ToString() != dkey) {
+          break;  // a longer D-key sharing the byte prefix: out of group
+        }
+        if (parent_n >= parent_hi) break;
+        NodeRecord record;
+        if (!DecodeNodeRecord(it->value(), &record)) {
+          status_ = Status::Corruption("malformed node record in index");
+          return;
+        }
+        record.n = n;
+        record.parent_n = parent_n;
+        Count(&MatchCounters::nodes_matched);
+        BoundMatch& slot = bound_[qi];
+        slot.symbol = elem.symbol;
+        if (!DecodeDKey(dkey, &slot.symbol, &slot.prefix)) {
+          status_ = Status::Corruption("malformed D-key in index");
+          return;
+        }
+        slot.record = record;
+        Search(qi + 1, record.scope());
+        if (!status_.ok()) return;
+        it->Next();
+      }
+      if (!it->status().ok()) {
+        status_ = it->status();
+        return;
+      }
+      // Jump to the next D-key group in the wildcard range.
+      const std::string next_group = PrefixRangeEnd(dkey);
+      if (next_group.empty()) break;
+      it->Seek(next_group);
+    }
+    if (!it->status().ok()) status_ = it->status();
+  }
+
+  // Final step of Algorithm 2: all documents attached at or under the last
+  // matched node, i.e. DocId keys with n ∈ [node.n, node.n + size).
+  void CollectDocIds(const NodeRecord& node) {
+    Count(&MatchCounters::docid_range_scans);
+    auto it = context_.docid_tree->NewIterator();
+    const std::string lo = EncodeDocIdKey(node.n, 0);
+    const uint64_t hi = node.n + node.size;
+    for (it->Seek(lo); it->Valid(); it->Next()) {
+      uint64_t n = 0, doc_id = 0;
+      if (!DecodeDocIdKey(it->key(), &n, &doc_id)) {
+        status_ = Status::Corruption("malformed DocId key in index");
+        return;
+      }
+      if (n >= hi) break;
+      results_->insert(doc_id);
+    }
+    if (!it->status().ok()) status_ = it->status();
+  }
+
+  const MatchContext& context_;
+  const QuerySequence& query_;
+  MatchCounters* counters_;
+  std::set<uint64_t>* results_;
+  std::vector<BoundMatch> bound_;
+  Status status_;
+};
+
+}  // namespace
+
+Result<std::vector<uint64_t>> MatchCompiledQuery(
+    const MatchContext& context, const query::CompiledQuery& compiled,
+    MatchCounters* counters) {
+  VIST_CHECK(context.entry_tree != nullptr && context.docid_tree != nullptr);
+  std::set<uint64_t> results;
+  for (const QuerySequence& alt : compiled.alternatives) {
+    if (alt.empty()) continue;
+    Searcher searcher(context, alt, counters, &results);
+    VIST_RETURN_IF_ERROR(searcher.Run());
+  }
+  return std::vector<uint64_t>(results.begin(), results.end());
+}
+
+}  // namespace vist

@@ -1,0 +1,55 @@
+// Algorithm 2 (§3.3): non-contiguous subsequence matching over the combined
+// D-Ancestor / S-Ancestor B+ tree, shared by ViST and RIST (the paper:
+// "ViST uses the same sequence matching algorithm as RIST").
+//
+// Per query element the matcher performs the paper's two-step "jump":
+//   1. D-Ancestorship — locate the S-Ancestor entries of the element's
+//      (Symbol, Prefix). Concrete prefixes are a point lookup; prefixes
+//      ending in wildcard place holders become range scans over the D-key
+//      order (symbol, |prefix|, prefix), with '//' expanded into "a series
+//      of '*' queries" over prefix lengths up to the indexed maximum.
+//   2. S-Ancestorship — within each matching D-key, a range scan over the
+//      labels n ∈ (n_x, n_x + size_x) of the previously matched node.
+// After the last element, doc ids are collected by a range query
+// [n, n + size) on the DocId B+ tree.
+
+#ifndef VIST_VIST_MATCHER_H_
+#define VIST_VIST_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query_sequence.h"
+#include "storage/btree.h"
+#include "vist/scope.h"
+
+namespace vist {
+
+struct MatchContext {
+  BTree* entry_tree = nullptr;
+  BTree* docid_tree = nullptr;
+  /// Deepest prefix ever indexed; bounds the '//' length expansion.
+  uint64_t max_depth = 0;
+  /// When false, the final DocId range queries are skipped and the result
+  /// set stays empty — the measurement mode of the paper's Figure 10
+  /// ("does not include the time spent in data output after each range
+  /// query on the DocId B+ Tree").
+  bool collect_doc_ids = true;
+};
+
+struct MatchCounters {
+  uint64_t entries_scanned = 0;
+  uint64_t nodes_matched = 0;
+  uint64_t docid_range_scans = 0;
+};
+
+/// Returns the sorted doc ids matching any alternative of the compiled
+/// query. `counters` (optional) reports work done, for the benchmarks.
+Result<std::vector<uint64_t>> MatchCompiledQuery(
+    const MatchContext& context, const query::CompiledQuery& compiled,
+    MatchCounters* counters = nullptr);
+
+}  // namespace vist
+
+#endif  // VIST_VIST_MATCHER_H_

@@ -1,0 +1,25 @@
+#include "vist/scope.h"
+
+#include "common/coding.h"
+
+namespace vist {
+
+std::string EncodeNodeRecord(const NodeRecord& record) {
+  std::string out;
+  PutVarint64(&out, record.size);
+  PutVarint64(&out, record.next_free);
+  PutVarint64(&out, record.seq_cursor);
+  PutVarint64(&out, record.k);
+  PutVarint64(&out, record.refcount);
+  return out;
+}
+
+bool DecodeNodeRecord(Slice input, NodeRecord* record) {
+  return GetVarint64(&input, &record->size) &&
+         GetVarint64(&input, &record->next_free) &&
+         GetVarint64(&input, &record->seq_cursor) &&
+         GetVarint64(&input, &record->k) &&
+         GetVarint64(&input, &record->refcount) && input.empty();
+}
+
+}  // namespace vist

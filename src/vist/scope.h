@@ -1,0 +1,71 @@
+// Dynamic scopes (paper §3.4.1, Definition 3) and their persistent record.
+//
+// Every virtual-suffix-tree node owns a scope [n, n+size): its label is n
+// (the scope's lower bound) and node y is a descendant of node x iff
+// n_y ∈ (n_x, n_x + size_x). The node's S-Ancestor entry — stored in the
+// combined D-/S-Ancestor B+ tree under key D-key‖n — carries the scope size
+// plus the allocation state dynamic insertion needs:
+//
+//   next_free   where the next formula-allocated child scope starts
+//   seq_cursor  where the next scope-underflow run ends (grows downward
+//               through the reserved tail of the scope, §3.4.1 "we preserve
+//               certain amount of scope in each node for this unexpected
+//               situation")
+//   k           number of child scopes allocated so far (Definition 3)
+//   parent_n    label of the node's virtual-suffix-tree parent — our
+//               robust realization of the paper's "immediate parent-child
+//               by Eq (4) and Eq (6)" test (see DESIGN.md)
+//   refcount    number of indexed documents whose insertion path traverses
+//               this node; deletion garbage-collects at zero
+
+#ifndef VIST_VIST_SCOPE_H_
+#define VIST_VIST_SCOPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace vist {
+
+/// Label space ceiling ("Max" in §3.4.1). Half the uint64 range keeps all
+/// scope arithmetic overflow-free.
+inline constexpr uint64_t kMaxScope = uint64_t{1} << 63;
+
+/// The virtual root owns scope [0, kMaxScope) and never consumes label 0
+/// itself (allocation starts at 1), so parent_n == 0 uniquely identifies
+/// children of the virtual root.
+
+/// A scope [n, n+size). size == 0 signals allocation failure (underflow).
+struct Scope {
+  uint64_t n = 0;
+  uint64_t size = 0;
+
+  bool valid() const { return size != 0; }
+  /// True when label m belongs to a strict descendant of this node.
+  bool ContainsDescendant(uint64_t m) const {
+    return m > n && m < n + size;
+  }
+};
+
+/// The persisted per-node record (value of an S-Ancestor entry). `n` and
+/// `parent_n` live in the entry key (see seq/key_codec.h) and are filled
+/// in after decoding; only the remaining fields are serialized.
+struct NodeRecord {
+  uint64_t n = 0;         // from the key
+  uint64_t parent_n = 0;  // from the key
+  uint64_t size = 0;
+  uint64_t next_free = 0;
+  uint64_t seq_cursor = 0;
+  uint64_t k = 0;
+  uint64_t refcount = 0;
+
+  Scope scope() const { return {n, size}; }
+};
+
+std::string EncodeNodeRecord(const NodeRecord& record);
+bool DecodeNodeRecord(Slice input, NodeRecord* record);
+
+}  // namespace vist
+
+#endif  // VIST_VIST_SCOPE_H_

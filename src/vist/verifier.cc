@@ -1,0 +1,98 @@
+#include "vist/verifier.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace vist {
+namespace {
+
+using query::QueryNode;
+
+bool MatchesAt(const QueryNode& qnode, const xml::Node& xnode);
+
+// Does the value leaf hold at `xnode`? Attribute values and element text
+// both become value symbols in the sequence encoding, so both count here.
+bool ValueHolds(const std::string& value, const xml::Node& xnode) {
+  if (xnode.is_attribute()) return xnode.value() == value;
+  for (const auto& child : xnode.children()) {
+    if (child->is_text() && child->value() == value) return true;
+  }
+  return false;
+}
+
+// Can query child `qc` be satisfied somewhere below `xnode`?
+bool EmbedChild(const QueryNode& qc, const xml::Node& xnode) {
+  switch (qc.kind) {
+    case QueryNode::Kind::kValue:
+      return ValueHolds(qc.value, xnode);
+    case QueryNode::Kind::kName:
+    case QueryNode::Kind::kStar:
+      for (const auto& child : xnode.children()) {
+        if (child->is_text()) continue;
+        if (MatchesAt(qc, *child)) return true;
+      }
+      return false;
+    case QueryNode::Kind::kDescendant: {
+      // '//' between xnode and its (sole, by construction) target: the
+      // target may match at any strict descendant.
+      std::function<bool(const xml::Node&)> any_descendant =
+          [&](const xml::Node& node) {
+            for (const auto& child : node.children()) {
+              if (child->is_text()) continue;
+              for (const auto& target : qc.children) {
+                if (MatchesAt(*target, *child)) return true;
+              }
+              if (any_descendant(*child)) return true;
+            }
+            return false;
+          };
+      return any_descendant(xnode);
+    }
+  }
+  return false;
+}
+
+// Does `qnode` itself match at `xnode`, with all its children embedded
+// below it?
+bool MatchesAt(const QueryNode& qnode, const xml::Node& xnode) {
+  switch (qnode.kind) {
+    case QueryNode::Kind::kName:
+      if (xnode.name() != qnode.name) return false;
+      break;
+    case QueryNode::Kind::kStar:
+      break;  // any element/attribute
+    case QueryNode::Kind::kValue:
+    case QueryNode::Kind::kDescendant:
+      VIST_CHECK(false) << "MatchesAt on a non-step query node";
+  }
+  for (const auto& qc : qnode.children) {
+    if (!EmbedChild(*qc, xnode)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root) {
+  VIST_CHECK(tree.root != nullptr);
+  const QueryNode& qroot = *tree.root;
+  if (qroot.kind == QueryNode::Kind::kDescendant) {
+    // Absolute '//x': x may match the document root or any descendant.
+    std::function<bool(const xml::Node&)> anywhere =
+        [&](const xml::Node& node) {
+          if (node.is_text()) return false;
+          for (const auto& target : qroot.children) {
+            if (MatchesAt(*target, node)) return true;
+          }
+          for (const auto& child : node.children()) {
+            if (anywhere(*child)) return true;
+          }
+          return false;
+        };
+    return anywhere(root);
+  }
+  return MatchesAt(qroot, root);
+}
+
+}  // namespace vist

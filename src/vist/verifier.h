@@ -1,0 +1,26 @@
+// Tree-embedding verification — the optional post-filter for the known
+// false positives of sequence matching (see DESIGN.md §5).
+//
+// Sequence matching identifies branches by root-to-node *name* paths, so a
+// branching query can match with its branches anchored under different
+// same-named instances of an ancestor. This verifier checks genuine XPath
+// semantics instead: every query branch must embed under the *same*
+// matched document node.
+
+#ifndef VIST_VIST_VERIFIER_H_
+#define VIST_VIST_VERIFIER_H_
+
+#include "query/path_expr.h"
+#include "xml/node.h"
+
+namespace vist {
+
+/// True when the query tree has an ordered-tree embedding into the
+/// document: name nodes match equally named elements/attributes, '*'
+/// matches any single node, '//' any downward chain, and value leaves
+/// match the node's attribute value or text content.
+bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root);
+
+}  // namespace vist
+
+#endif  // VIST_VIST_VERIFIER_H_

@@ -1,0 +1,784 @@
+#include "vist/vist_index.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "query/path_parser.h"
+#include "seq/key_codec.h"
+#include "vist/verifier.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace vist {
+namespace {
+
+constexpr int kEntryTreeSlot = 0;
+constexpr int kDocIdTreeSlot = 1;
+constexpr int kDocStoreSlot = 2;
+// Meta slots 3 and 4 hold max_depth and underflow_runs (see header).
+
+constexpr uint64_t kManifestVersion = 1;
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.bin";
+}
+std::string SymbolsPath(const std::string& dir) {
+  return dir + "/symbols.tbl";
+}
+std::string StatsPath(const std::string& dir) { return dir + "/stats.bin"; }
+std::string PageFilePath(const std::string& dir) {
+  return dir + "/index.db";
+}
+
+Status SaveManifest(const std::string& dir, const VistOptions& options) {
+  std::string blob;
+  PutVarint64(&blob, kManifestVersion);
+  PutVarint64(&blob, options.page_size);
+  PutVarint64(&blob,
+              options.allocator == VistOptions::AllocatorKind::kStatistical);
+  PutVarint64(&blob, options.lambda);
+  PutVarint64(&blob, options.reserve_divisor);
+  PutVarint64(&blob, options.other_divisor);
+  PutVarint64(&blob, options.store_documents);
+  PutVarint64(&blob, options.sequence.include_text);
+  PutVarint64(&blob, options.sequence.include_attribute_values);
+  std::ofstream out(ManifestPath(dir), std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write manifest in " + dir);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return Status::IOError("short write to manifest in " + dir);
+  return Status::OK();
+}
+
+Status LoadManifest(const std::string& dir, VistOptions* options) {
+  std::ifstream in(ManifestPath(dir), std::ios::binary);
+  if (!in) return Status::IOError("cannot read manifest in " + dir);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string blob = buffer.str();
+  Slice input(blob);
+  uint64_t version = 0, page_size = 0, statistical = 0, lambda = 0;
+  uint64_t reserve = 0, other = 0, store = 0, text = 0, attrs = 0;
+  if (!GetVarint64(&input, &version) || version != kManifestVersion ||
+      !GetVarint64(&input, &page_size) || !GetVarint64(&input, &statistical) ||
+      !GetVarint64(&input, &lambda) || !GetVarint64(&input, &reserve) ||
+      !GetVarint64(&input, &other) || !GetVarint64(&input, &store) ||
+      !GetVarint64(&input, &text) || !GetVarint64(&input, &attrs) ||
+      !input.empty()) {
+    return Status::Corruption("bad manifest in " + dir);
+  }
+  options->page_size = static_cast<uint32_t>(page_size);
+  options->allocator = statistical != 0
+                           ? VistOptions::AllocatorKind::kStatistical
+                           : VistOptions::AllocatorKind::kUniform;
+  options->lambda = lambda;
+  options->reserve_divisor = reserve;
+  options->other_divisor = other;
+  options->store_documents = store != 0;
+  options->sequence.include_text = text != 0;
+  options->sequence.include_attribute_values = attrs != 0;
+  return Status::OK();
+}
+
+// Document-store keys: doc_id (8B BE) ‖ chunk index (4B BE).
+std::string DocChunkKey(uint64_t doc_id, uint32_t chunk) {
+  std::string key;
+  PutFixed64BE(&key, doc_id);
+  PutFixed32BE(&key, chunk);
+  return key;
+}
+
+}  // namespace
+
+VistIndex::VistIndex(std::string dir, VistOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      root_key_(EncodeEntryKey(EncodeDKey(kInvalidSymbol, {}), 0, 0)) {}
+
+VistIndex::~VistIndex() {
+  if (pager_ != nullptr && !crashed_) {
+    Status s = Flush();
+    if (!s.ok()) VIST_LOG(Error) << "index close: " << s.ToString();
+  }
+}
+
+void VistIndex::SimulateCrashForTesting() {
+  crashed_ = true;
+  pool_->SimulateCrashForTesting();
+  pager_->SimulateCrashForTesting();
+}
+
+Status VistIndex::InitTrees(bool create) {
+  PagerOptions pager_options;
+  pager_options.page_size = options_.page_size;
+  VIST_ASSIGN_OR_RETURN(pager_,
+                        Pager::Open(PageFilePath(dir_), pager_options));
+  const size_t pool_pages = std::max<size_t>(options_.buffer_pool_pages, 256);
+  pool_ = std::make_unique<BufferPool>(pager_.get(), pool_pages);
+  if (create) {
+    VIST_ASSIGN_OR_RETURN(
+        entry_tree_, BTree::Create(pager_.get(), pool_.get(), kEntryTreeSlot));
+    VIST_ASSIGN_OR_RETURN(
+        docid_tree_, BTree::Create(pager_.get(), pool_.get(), kDocIdTreeSlot));
+    if (options_.store_documents) {
+      VIST_ASSIGN_OR_RETURN(
+          doc_store_, BTree::Create(pager_.get(), pool_.get(), kDocStoreSlot));
+    }
+  } else {
+    VIST_ASSIGN_OR_RETURN(
+        entry_tree_, BTree::Open(pager_.get(), pool_.get(), kEntryTreeSlot));
+    VIST_ASSIGN_OR_RETURN(
+        docid_tree_, BTree::Open(pager_.get(), pool_.get(), kDocIdTreeSlot));
+    if (options_.store_documents) {
+      VIST_ASSIGN_OR_RETURN(
+          doc_store_, BTree::Open(pager_.get(), pool_.get(), kDocStoreSlot));
+    }
+  }
+  if (options_.allocator == VistOptions::AllocatorKind::kStatistical) {
+    allocator_ = std::make_unique<StatisticalScopeAllocator>(
+        &stats_, options_.lambda, options_.reserve_divisor,
+        options_.other_divisor);
+  } else {
+    allocator_ = std::make_unique<UniformScopeAllocator>(
+        options_.lambda, options_.reserve_divisor);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<VistIndex>> VistIndex::Create(
+    const std::string& dir, const VistOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  if (std::filesystem::exists(ManifestPath(dir))) {
+    return Status::InvalidArgument(dir + " already contains an index");
+  }
+  if (options.allocator == VistOptions::AllocatorKind::kStatistical &&
+      options.stats == nullptr) {
+    return Status::InvalidArgument(
+        "statistical allocator requires VistOptions::stats");
+  }
+  VIST_RETURN_IF_ERROR(SaveManifest(dir, options));
+
+  std::unique_ptr<VistIndex> index(new VistIndex(dir, options));
+  if (options.stats != nullptr) {
+    index->stats_ = *options.stats;
+    VIST_RETURN_IF_ERROR(index->stats_.Save(StatsPath(dir)));
+  }
+  VIST_RETURN_IF_ERROR(index->InitTrees(/*create=*/true));
+
+  // The virtual root: owns the whole label space, label 0 unused.
+  NodeRecord root;
+  root.n = 0;
+  root.size = kMaxScope;
+  index->allocator_->InitRecord(&root);
+  VIST_RETURN_IF_ERROR(index->WriteRecord(index->root_key_, root));
+  VIST_RETURN_IF_ERROR(index->Flush());
+  return index;
+}
+
+Result<std::unique_ptr<VistIndex>> VistIndex::Open(const std::string& dir,
+                                                   const VistOptions& options) {
+  VistOptions merged = options;
+  VIST_RETURN_IF_ERROR(LoadManifest(dir, &merged));
+  std::unique_ptr<VistIndex> index(new VistIndex(dir, merged));
+  VIST_ASSIGN_OR_RETURN(index->symtab_, SymbolTable::Load(SymbolsPath(dir)));
+  if (merged.allocator == VistOptions::AllocatorKind::kStatistical) {
+    VIST_ASSIGN_OR_RETURN(index->stats_, SchemaStats::Load(StatsPath(dir)));
+  }
+  VIST_RETURN_IF_ERROR(index->InitTrees(/*create=*/false));
+  return index;
+}
+
+Status VistIndex::LoadRootRecord(NodeRecord* record) {
+  VIST_ASSIGN_OR_RETURN(std::string value, entry_tree_->Get(root_key_));
+  if (!DecodeNodeRecord(value, record)) {
+    return Status::Corruption("malformed virtual-root record");
+  }
+  record->n = 0;
+  record->parent_n = 0;
+  return Status::OK();
+}
+
+Status VistIndex::WriteRecord(const std::string& entry_key,
+                              const NodeRecord& record) {
+  return entry_tree_->Put(entry_key, EncodeNodeRecord(record));
+}
+
+Result<bool> VistIndex::FindImmediateChild(const std::string& dkey,
+                                           const NodeRecord& parent,
+                                           PathEntry* out) {
+  // Immediate children are the contiguous range (dkey ‖ parent.n ‖ *): one
+  // exact seek, independent of how often the D-key occurs elsewhere.
+  auto it = entry_tree_->NewIterator();
+  const std::string lo = EncodeEntryKey(dkey, parent.n, 0);
+  it->Seek(lo);
+  if (it->Valid()) {
+    Slice dkey_slice;
+    uint64_t parent_n = 0, n = 0;
+    if (DecodeEntryKey(it->key(), &dkey_slice, &parent_n, &n) &&
+        dkey_slice.size() == dkey.size() && it->key().StartsWith(dkey) &&
+        parent_n == parent.n) {
+      NodeRecord record;
+      if (!DecodeNodeRecord(it->value(), &record)) {
+        return Status::Corruption("malformed node record");
+      }
+      record.n = n;
+      record.parent_n = parent_n;
+      out->key = it->key().ToString();
+      out->record = record;
+      return true;
+    }
+  }
+  VIST_RETURN_IF_ERROR(it->status());
+  return false;
+}
+
+Status VistIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("cannot index an empty sequence");
+  }
+  std::vector<PathEntry> path;
+  path.emplace_back();
+  path[0].key = root_key_;
+  path[0].symbol = kInvalidSymbol;
+  VIST_RETURN_IF_ERROR(LoadRootRecord(&path[0].record));
+
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    const SequenceElement& elem = sequence[i];
+    const std::string dkey = EncodeDKey(elem.symbol, elem.prefix);
+    PathEntry child;
+    VIST_ASSIGN_OR_RETURN(bool found,
+                          FindImmediateChild(dkey, path.back().record, &child));
+    if (found) {
+      child.symbol = elem.symbol;
+      path.push_back(std::move(child));
+      continue;
+    }
+    PathEntry& parent = path.back();
+    Scope scope = allocator_->AllocateChild(
+        &parent.record, parent.symbol, elem.symbol,
+        static_cast<uint32_t>(elem.prefix.size()));
+    parent.dirty = true;
+    if (!scope.valid()) {
+      VIST_RETURN_IF_ERROR(InsertUnderflowRun(sequence, &path));
+      break;
+    }
+    PathEntry fresh;
+    fresh.key = EncodeEntryKey(dkey, parent.record.n, scope.n);
+    fresh.symbol = elem.symbol;
+    fresh.record.n = scope.n;
+    fresh.record.size = scope.size;
+    fresh.record.parent_n = parent.record.n;
+    allocator_->InitRecord(&fresh.record);
+    fresh.dirty = true;
+    path.push_back(std::move(fresh));
+  }
+  // Commit: bump refcounts along the final path and persist every new or
+  // mutated record. Nothing was written before this point, so allocation
+  // failures above leave the index untouched.
+  for (PathEntry& entry : path) {
+    ++entry.record.refcount;
+    VIST_RETURN_IF_ERROR(WriteRecord(entry.key, entry.record));
+  }
+  VIST_RETURN_IF_ERROR(docid_tree_->Put(
+      EncodeDocIdKey(path.back().record.n, doc_id), Slice()));
+
+  uint64_t depth = max_depth();
+  for (const SequenceElement& elem : sequence) {
+    depth = std::max<uint64_t>(depth, elem.prefix.size());
+  }
+  set_max_depth(depth);
+  return Status::OK();
+}
+
+Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
+                                     std::vector<PathEntry>* path) {
+  const size_t total = sequence.size();
+  // Borrow from the nearest ancestor whose reserve can hold labels for the
+  // remaining elements plus duplicates of the intermediates it skips
+  // (§3.4.1: "we borrow scopes from the parent nodes").
+  for (size_t j = path->size(); j-- > 0;) {
+    PathEntry& ancestor = (*path)[j];
+    // path[j] covers sequence element j-1 (path[0] is the virtual root), so
+    // elements j..total-1 need labels inside this ancestor.
+    const uint64_t run_len = total - j;
+    const uint64_t usable_end = allocator_->UsableEnd(ancestor.record);
+    if (ancestor.record.seq_cursor < usable_end + run_len ||
+        ancestor.record.seq_cursor < run_len) {
+      continue;  // reserve exhausted here; climb further
+    }
+    const uint64_t run_lo = ancestor.record.seq_cursor - run_len;
+    ancestor.record.seq_cursor = run_lo;
+    ancestor.dirty = true;
+    set_underflow_runs(underflow_runs() + 1);
+
+    // The doc's path now diverges at the ancestor: the abandoned tail
+    // entries were never written (all writes are deferred), so dropping
+    // them rolls their allocations back.
+    path->resize(j + 1);
+    for (uint64_t t = 0; t < run_len; ++t) {
+      const SequenceElement& elem = sequence[j + t];
+      PathEntry entry;
+      entry.symbol = elem.symbol;
+      entry.record.n = run_lo + t;
+      entry.record.size = run_len - t;
+      entry.record.parent_n =
+          t == 0 ? ancestor.record.n : run_lo + t - 1;
+      entry.record.next_free = entry.record.n + 1;
+      entry.record.seq_cursor = entry.record.n + entry.record.size;
+      entry.key = EncodeEntryKey(EncodeDKey(elem.symbol, elem.prefix),
+                                 entry.record.parent_n, entry.record.n);
+      entry.dirty = true;
+      path->push_back(std::move(entry));
+    }
+    return Status::OK();
+  }
+  return Status::ScopeOverflow(
+      "no ancestor reserve can hold the remaining elements");
+}
+
+Status VistIndex::BulkLoadSequences(
+    const std::vector<std::pair<uint64_t, Sequence>>& documents) {
+  {
+    NodeRecord root;
+    VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
+    if (root.refcount != 0) {
+      return Status::InvalidArgument("bulk load requires an empty index");
+    }
+  }
+  // Staged virtual suffix tree: entry key -> record. Because immediate
+  // children of a node are a contiguous key range (dkey ‖ parent_n ‖ *),
+  // an ordered map supports the same child lookup the B+ tree does.
+  std::map<std::string, NodeRecord> staged;
+  std::vector<std::pair<uint64_t, uint64_t>> doc_labels;  // (n, doc_id)
+  NodeRecord root;
+  VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
+  uint64_t depth = max_depth();
+  uint64_t underflows = underflow_runs();
+
+  // Each document's path holds *copies* of the records it touches and is
+  // committed into `staged` only at the end — identical to the dynamic
+  // insert's deferred writes, so a scope underflow can roll back the
+  // document's own earlier allocations by truncating the path.
+  struct StagedEntry {
+    std::string key;  // empty for the virtual root
+    NodeRecord record;
+    Symbol symbol = kInvalidSymbol;
+  };
+  for (const auto& [doc_id, sequence] : documents) {
+    if (sequence.empty()) {
+      return Status::InvalidArgument("cannot index an empty sequence");
+    }
+    std::vector<StagedEntry> path;
+    path.push_back({"", root, kInvalidSymbol});
+    bool done = false;
+    for (size_t i = 0; i < sequence.size() && !done; ++i) {
+      const SequenceElement& elem = sequence[i];
+      const std::string dkey = EncodeDKey(elem.symbol, elem.prefix);
+      StagedEntry& parent = path.back();
+      const std::string child_prefix =
+          EncodeEntryKey(dkey, parent.record.n, 0);
+      auto it = staged.lower_bound(child_prefix);
+      if (it != staged.end() &&
+          Slice(it->first)
+              .StartsWith(Slice(child_prefix.data(),
+                                child_prefix.size() - 8))) {
+        path.push_back({it->first, it->second, elem.symbol});
+        continue;
+      }
+      Scope scope = allocator_->AllocateChild(
+          &parent.record, parent.symbol, elem.symbol,
+          static_cast<uint32_t>(elem.prefix.size()));
+      if (scope.valid()) {
+        StagedEntry fresh;
+        fresh.key = EncodeEntryKey(dkey, parent.record.n, scope.n);
+        fresh.symbol = elem.symbol;
+        fresh.record.n = scope.n;
+        fresh.record.parent_n = parent.record.n;
+        fresh.record.size = scope.size;
+        allocator_->InitRecord(&fresh.record);
+        path.push_back(std::move(fresh));
+        continue;
+      }
+      // Scope underflow: same strategy as InsertUnderflowRun; truncating
+      // the path discards this document's uncommitted tail allocations.
+      bool placed = false;
+      for (size_t j = path.size(); j-- > 0;) {
+        NodeRecord& ancestor = path[j].record;
+        const uint64_t run_len = sequence.size() - j;
+        const uint64_t usable_end = allocator_->UsableEnd(ancestor);
+        if (ancestor.seq_cursor < usable_end + run_len ||
+            ancestor.seq_cursor < run_len) {
+          continue;
+        }
+        const uint64_t run_lo = ancestor.seq_cursor - run_len;
+        ancestor.seq_cursor = run_lo;
+        ++underflows;
+        const uint64_t anchor_n = ancestor.n;
+        path.resize(j + 1);
+        for (uint64_t t = 0; t < run_len; ++t) {
+          const SequenceElement& run_elem = sequence[j + t];
+          StagedEntry entry;
+          entry.symbol = run_elem.symbol;
+          entry.record.n = run_lo + t;
+          entry.record.parent_n = t == 0 ? anchor_n : run_lo + t - 1;
+          entry.record.size = run_len - t;
+          entry.record.next_free = entry.record.n + 1;
+          entry.record.seq_cursor = entry.record.n + entry.record.size;
+          entry.key = EncodeEntryKey(
+              EncodeDKey(run_elem.symbol, run_elem.prefix),
+              entry.record.parent_n, entry.record.n);
+          path.push_back(std::move(entry));
+        }
+        placed = true;
+        break;
+      }
+      if (!placed) {
+        return Status::ScopeOverflow(
+            "no ancestor reserve can hold the remaining elements");
+      }
+      done = true;
+    }
+    // Commit the document into the staging area.
+    for (StagedEntry& entry : path) {
+      ++entry.record.refcount;
+      if (entry.key.empty()) {
+        root = entry.record;
+      } else {
+        staged[entry.key] = entry.record;
+      }
+    }
+    doc_labels.emplace_back(path.back().record.n, doc_id);
+    for (const SequenceElement& elem : sequence) {
+      depth = std::max<uint64_t>(depth, elem.prefix.size());
+    }
+  }
+
+  // Write everything in key order: root record, entries, then doc ids.
+  VIST_RETURN_IF_ERROR(WriteRecord(root_key_, root));
+  for (const auto& [key, record] : staged) {
+    VIST_RETURN_IF_ERROR(WriteRecord(key, record));
+  }
+  std::sort(doc_labels.begin(), doc_labels.end());
+  for (const auto& [n, doc_id] : doc_labels) {
+    VIST_RETURN_IF_ERROR(
+        docid_tree_->Put(EncodeDocIdKey(n, doc_id), Slice()));
+  }
+  set_max_depth(depth);
+  set_underflow_runs(underflows);
+  return Status::OK();
+}
+
+Status VistIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
+  Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
+  VIST_RETURN_IF_ERROR(InsertSequence(sequence, doc_id));
+  if (options_.store_documents) {
+    VIST_RETURN_IF_ERROR(StoreDocumentText(doc_id, xml::WriteNode(root)));
+  }
+  return Status::OK();
+}
+
+Result<bool> VistIndex::TryDelete(const Sequence& sequence, size_t i,
+                                  uint64_t doc_id,
+                                  std::vector<PathEntry>* path) {
+  if (i == sequence.size()) {
+    Status s = docid_tree_->Delete(
+        EncodeDocIdKey(path->back().record.n, doc_id));
+    if (s.IsNotFound()) return false;
+    VIST_RETURN_IF_ERROR(s);
+    // Unreference the path; garbage-collect nodes no document uses.
+    for (size_t t = path->size(); t-- > 1;) {
+      PathEntry& entry = (*path)[t];
+      if (--entry.record.refcount == 0) {
+        VIST_RETURN_IF_ERROR(entry_tree_->Delete(entry.key));
+      } else {
+        VIST_RETURN_IF_ERROR(WriteRecord(entry.key, entry.record));
+      }
+    }
+    PathEntry& root = (*path)[0];
+    if (root.record.refcount > 0) --root.record.refcount;
+    VIST_RETURN_IF_ERROR(WriteRecord(root.key, root.record));
+    return true;
+  }
+  const SequenceElement& elem = sequence[i];
+  const std::string dkey = EncodeDKey(elem.symbol, elem.prefix);
+
+  // Collect the candidate children first: scope underflow can duplicate a
+  // (symbol, prefix) under one parent, and the doc id lives on only one of
+  // the resulting paths.
+  std::vector<PathEntry> candidates;
+  {
+    const uint64_t parent_label = path->back().record.n;
+    auto it = entry_tree_->NewIterator();
+    it->Seek(EncodeEntryKey(dkey, parent_label, 0));
+    while (it->Valid() && it->key().StartsWith(dkey)) {
+      Slice dkey_slice;
+      uint64_t parent_n = 0, n = 0;
+      if (!DecodeEntryKey(it->key(), &dkey_slice, &parent_n, &n) ||
+          dkey_slice.size() != dkey.size()) {
+        break;
+      }
+      if (parent_n != parent_label) break;
+      NodeRecord record;
+      if (!DecodeNodeRecord(it->value(), &record)) {
+        return Status::Corruption("malformed node record");
+      }
+      PathEntry candidate;
+      candidate.key = it->key().ToString();
+      candidate.record = record;
+      candidate.record.n = n;
+      candidate.record.parent_n = parent_n;
+      candidate.symbol = elem.symbol;
+      candidates.push_back(std::move(candidate));
+      it->Next();
+    }
+    VIST_RETURN_IF_ERROR(it->status());
+  }
+  for (PathEntry& candidate : candidates) {
+    path->push_back(candidate);
+    VIST_ASSIGN_OR_RETURN(bool deleted,
+                          TryDelete(sequence, i + 1, doc_id, path));
+    if (deleted) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("cannot delete an empty sequence");
+  }
+  std::vector<PathEntry> path;
+  path.emplace_back();
+  path[0].key = root_key_;
+  path[0].symbol = kInvalidSymbol;
+  VIST_RETURN_IF_ERROR(LoadRootRecord(&path[0].record));
+  VIST_ASSIGN_OR_RETURN(bool deleted, TryDelete(sequence, 0, doc_id, &path));
+  if (!deleted) {
+    return Status::NotFound("document not present with this content");
+  }
+  return Status::OK();
+}
+
+Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
+  Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
+  VIST_RETURN_IF_ERROR(DeleteSequence(sequence, doc_id));
+  if (options_.store_documents) {
+    VIST_RETURN_IF_ERROR(DeleteDocumentText(doc_id));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
+    const query::CompiledQuery& compiled, MatchCounters* counters,
+    bool collect_doc_ids) {
+  MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth(),
+                       collect_doc_ids};
+  return MatchCompiledQuery(context, compiled, counters);
+}
+
+Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
+                                               const QueryOptions& options) {
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+  query::CompileOptions compile_options;
+  compile_options.max_alternatives = options.max_alternatives;
+  VIST_ASSIGN_OR_RETURN(
+      query::CompiledQuery compiled,
+      query::CompileQuery(tree, symtab_, compile_options));
+  VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids, QueryCompiled(compiled));
+  if (!options.verify) return ids;
+
+  if (!options_.store_documents) {
+    return Status::InvalidArgument(
+        "verified queries require store_documents");
+  }
+  std::vector<uint64_t> verified;
+  for (uint64_t doc_id : ids) {
+    VIST_ASSIGN_OR_RETURN(std::string text, GetDocument(doc_id));
+    VIST_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+    if (VerifyEmbedding(tree, *doc.root())) verified.push_back(doc_id);
+  }
+  return verified;
+}
+
+Status VistIndex::StoreDocumentText(uint64_t doc_id, const std::string& text) {
+  const size_t chunk_size = NodePage::MaxCellSize(options_.page_size) - 64;
+  uint32_t chunk = 0;
+  size_t offset = 0;
+  do {
+    const size_t len = std::min(chunk_size, text.size() - offset);
+    VIST_RETURN_IF_ERROR(doc_store_->Put(DocChunkKey(doc_id, chunk),
+                                         Slice(text.data() + offset, len)));
+    offset += len;
+    ++chunk;
+  } while (offset < text.size());
+  return Status::OK();
+}
+
+Status VistIndex::DeleteDocumentText(uint64_t doc_id) {
+  uint32_t chunk = 0;
+  while (true) {
+    Status s = doc_store_->Delete(DocChunkKey(doc_id, chunk));
+    if (s.IsNotFound()) break;
+    VIST_RETURN_IF_ERROR(s);
+    ++chunk;
+  }
+  return chunk == 0 ? Status::NotFound("document text not stored")
+                    : Status::OK();
+}
+
+Result<std::string> VistIndex::GetDocument(uint64_t doc_id) {
+  if (!options_.store_documents) {
+    return Status::InvalidArgument("index does not store documents");
+  }
+  std::string text;
+  uint32_t chunk = 0;
+  while (true) {
+    auto piece = doc_store_->Get(DocChunkKey(doc_id, chunk));
+    if (piece.status().IsNotFound()) break;
+    VIST_RETURN_IF_ERROR(piece.status());
+    text += *piece;
+    ++chunk;
+  }
+  if (chunk == 0) return Status::NotFound("no stored document with this id");
+  return text;
+}
+
+Result<IndexStats> VistIndex::Stats() {
+  IndexStats stats;
+  stats.size_bytes = pager_->page_count() * pager_->page_size();
+  stats.max_depth = max_depth();
+  stats.underflow_runs = underflow_runs();
+  NodeRecord root;
+  VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
+  stats.num_documents = root.refcount;
+  VIST_ASSIGN_OR_RETURN(uint64_t entries, entry_tree_->CountEntries());
+  stats.num_entries = entries - 1;  // minus the virtual-root record
+  return stats;
+}
+
+Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
+  IntegrityReport report;
+  auto complain = [&report](std::string problem) {
+    if (report.problems.size() < 64) {  // cap the noise on mass damage
+      report.problems.push_back(std::move(problem));
+    }
+  };
+
+  // Pass 1: decode every entry; collect (n -> scope end, parent_n).
+  struct NodeInfo {
+    uint64_t end = 0;  // n + size
+    uint64_t parent_n = 0;
+    uint64_t refcount = 0;
+  };
+  std::map<uint64_t, NodeInfo> nodes;
+  {
+    auto it = entry_tree_->NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      if (it->key().ToString() == root_key_) continue;
+      Slice dkey;
+      uint64_t parent_n = 0, n = 0;
+      NodeRecord record;
+      if (!DecodeEntryKey(it->key(), &dkey, &parent_n, &n) ||
+          !DecodeNodeRecord(it->value(), &record)) {
+        complain("undecodable entry");
+        continue;
+      }
+      ++report.nodes;
+      if (n == 0 || record.size == 0 || n + record.size > kMaxScope) {
+        complain("node " + std::to_string(n) + ": invalid scope size " +
+                 std::to_string(record.size));
+        continue;
+      }
+      if (!nodes.emplace(n, NodeInfo{n + record.size, parent_n,
+                                     record.refcount})
+               .second) {
+        complain("duplicate label " + std::to_string(n));
+      }
+    }
+    VIST_RETURN_IF_ERROR(it->status());
+  }
+
+  // Pass 2 (over the sorted labels): scopes must form a laminar family —
+  // each scope either nests strictly inside the innermost open scope or
+  // begins after it ends — and each parent link must name the node whose
+  // scope immediately encloses the child.
+  std::vector<std::pair<uint64_t, uint64_t>> open;  // (n, end) stack
+  for (const auto& [n, info] : nodes) {
+    while (!open.empty() && n >= open.back().second) open.pop_back();
+    if (!open.empty() && info.end > open.back().second) {
+      complain("node " + std::to_string(n) + ": scope crosses node " +
+               std::to_string(open.back().first));
+    }
+    if (info.parent_n == 0) {
+      if (!open.empty()) {
+        complain("node " + std::to_string(n) +
+                 ": claims the virtual root as parent but lies inside "
+                 "node " +
+                 std::to_string(open.back().first));
+      }
+    } else if (open.empty() || open.back().first != info.parent_n) {
+      complain("node " + std::to_string(n) + ": parent link " +
+               std::to_string(info.parent_n) +
+               " is not the enclosing node");
+    }
+    open.emplace_back(n, info.end);
+  }
+
+  // Pass 3: DocId labels must resolve to live nodes; collect the sorted
+  // label list for refcount accounting.
+  std::vector<uint64_t> doc_labels;
+  {
+    auto it = docid_tree_->NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      uint64_t n = 0, doc_id = 0;
+      if (!DecodeDocIdKey(it->key(), &n, &doc_id)) {
+        complain("undecodable DocId entry");
+        continue;
+      }
+      ++report.doc_entries;
+      if (nodes.find(n) == nodes.end()) {
+        complain("document " + std::to_string(doc_id) +
+                 " attached to nonexistent node " + std::to_string(n));
+      }
+      doc_labels.push_back(n);
+    }
+    VIST_RETURN_IF_ERROR(it->status());
+  }
+  std::sort(doc_labels.begin(), doc_labels.end());
+
+  // Pass 4: a node's refcount must equal the number of documents attached
+  // at or under it (its scope contains exactly its subtree's labels).
+  for (const auto& [n, info] : nodes) {
+    const auto lo =
+        std::lower_bound(doc_labels.begin(), doc_labels.end(), n);
+    const auto hi =
+        std::lower_bound(doc_labels.begin(), doc_labels.end(), info.end);
+    const uint64_t expected = static_cast<uint64_t>(hi - lo);
+    if (info.refcount != expected) {
+      complain("node " + std::to_string(n) + ": refcount " +
+               std::to_string(info.refcount) + " but " +
+               std::to_string(expected) + " documents in scope");
+    }
+  }
+  NodeRecord root;
+  VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
+  if (root.refcount != doc_labels.size()) {
+    complain("virtual root refcount " + std::to_string(root.refcount) +
+             " but " + std::to_string(doc_labels.size()) + " documents");
+  }
+  return report;
+}
+
+Status VistIndex::Flush() {
+  VIST_RETURN_IF_ERROR(symtab_.Save(SymbolsPath(dir_)));
+  VIST_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Sync();
+}
+
+}  // namespace vist

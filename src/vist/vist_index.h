@@ -1,0 +1,217 @@
+// VistIndex: the paper's primary contribution — a dynamic XML index built
+// entirely on B+ trees (§3.4).
+//
+// On disk, an index is a directory:
+//   index.db     one page file holding the combined D-/S-Ancestor B+ tree,
+//                the DocId B+ tree, and (optionally) the document store
+//   symbols.tbl  the interned element/attribute names
+//   stats.bin    frozen schema statistics (statistical allocator only)
+//   manifest.bin the creation options that must never change after Create
+//
+// Usage:
+//   auto index = VistIndex::Create(dir, options);
+//   index->InsertDocument(*doc.root(), /*doc_id=*/1);
+//   auto ids = index->Query("/purchase//item[manufacturer='intel']");
+
+#ifndef VIST_VIST_VIST_INDEX_H_
+#define VIST_VIST_VIST_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query_sequence.h"
+#include "seq/sequence.h"
+#include "seq/symbol_table.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "vist/matcher.h"
+#include "vist/schema_stats.h"
+#include "vist/scope_allocator.h"
+
+namespace vist {
+
+struct VistOptions {
+  /// Page size of index.db (the paper uses 2 KB Berkeley DB pages).
+  uint32_t page_size = 4096;
+  /// Buffer pool capacity in pages (runtime only, not persisted).
+  /// 16384 x 4 KB = 64 MB, a modest cache by today's standards.
+  size_t buffer_pool_pages = 16384;
+
+  enum class AllocatorKind {
+    kUniform,      // §3.4.1 "without clues": λ-geometric (Eq. 5-6)
+    kStatistical,  // §3.4.1 "with clues": follow-set slots (Eq. 1-4)
+  };
+  AllocatorKind allocator = AllocatorKind::kUniform;
+  /// λ: rough estimate of distinct successors per node (uniform allocator,
+  /// and the statistical allocator's fallback).
+  uint64_t lambda = 16;
+  /// 1/d of every scope is reserved for scope-underflow runs.
+  uint64_t reserve_divisor = 16;
+  /// Statistical allocator: 1/d of the usable region for unseen symbols.
+  uint64_t other_divisor = 8;
+
+  /// Keep the serialized documents in the index (enables verified queries
+  /// and GetDocument).
+  bool store_documents = false;
+
+  /// How documents become sequences (content indexing switches).
+  SequenceOptions sequence;
+
+  /// Sample statistics for the statistical allocator; borrowed during
+  /// Create() (persisted to stats.bin, reloaded on Open).
+  const SchemaStats* stats = nullptr;
+};
+
+struct QueryOptions {
+  /// Filter out the false positives of sequence matching by checking a
+  /// real tree embedding against the stored document. Requires
+  /// store_documents.
+  bool verify = false;
+  /// Cap on branching-query permutation expansion.
+  size_t max_alternatives = 64;
+};
+
+struct IndexStats {
+  uint64_t size_bytes = 0;        // page file size
+  uint64_t num_documents = 0;     // live (inserted minus deleted)
+  uint64_t num_entries = 0;       // S-Ancestor entries (virtual-tree nodes)
+  uint64_t max_depth = 0;         // deepest indexed prefix
+  uint64_t underflow_runs = 0;    // scope-underflow fallbacks taken
+};
+
+class VistIndex {
+ public:
+  /// Creates a fresh index in `dir` (created if missing; must not already
+  /// contain an index).
+  static Result<std::unique_ptr<VistIndex>> Create(const std::string& dir,
+                                                   const VistOptions& options);
+
+  /// Opens an existing index. Runtime fields of `options` (buffer pool) are
+  /// honored; persisted fields come from the manifest.
+  static Result<std::unique_ptr<VistIndex>> Open(const std::string& dir,
+                                                 const VistOptions& options);
+
+  ~VistIndex();
+
+  VistIndex(const VistIndex&) = delete;
+  VistIndex& operator=(const VistIndex&) = delete;
+
+  /// Indexes a document (Algorithm 4). `doc_id` is caller-assigned and must
+  /// be unique. Also stores the serialized document when store_documents.
+  Status InsertDocument(const xml::Node& root, uint64_t doc_id);
+
+  /// Indexes a pre-built sequence (no document store entry).
+  Status InsertSequence(const Sequence& sequence, uint64_t doc_id);
+
+  /// Bulk-loads a whole corpus into a still-empty index. Semantically
+  /// identical to inserting each sequence in order (same dynamic labels),
+  /// but entries are staged in memory and written to the B+ trees in key
+  /// order, which packs pages densely and clusters D-key ranges — the
+  /// locality a one-at-a-time build cannot get. Memory: O(total entries).
+  Status BulkLoadSequences(
+      const std::vector<std::pair<uint64_t, Sequence>>& documents);
+
+  /// Removes a document previously inserted with this exact content.
+  Status DeleteDocument(const xml::Node& root, uint64_t doc_id);
+  Status DeleteSequence(const Sequence& sequence, uint64_t doc_id);
+
+  /// Evaluates a path expression; returns sorted matching doc ids.
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      const QueryOptions& options = {});
+
+  /// Evaluates an already-compiled query (no verification available here —
+  /// verification needs the query tree). With collect_doc_ids == false the
+  /// matching work runs but DocId output is skipped (Figure 10's
+  /// measurement mode) and the result is empty.
+  Result<std::vector<uint64_t>> QueryCompiled(
+      const query::CompiledQuery& compiled, MatchCounters* counters = nullptr,
+      bool collect_doc_ids = true);
+
+  /// Returns the stored XML text of a document (store_documents only).
+  Result<std::string> GetDocument(uint64_t doc_id);
+
+  SymbolTable* symbols() { return &symtab_; }
+  const VistOptions& options() const { return options_; }
+
+  Result<IndexStats> Stats();
+
+  /// fsck for the index: verifies every structural invariant of the
+  /// virtual suffix tree — decodable entries, labels forming a laminar
+  /// scope family, parent links pointing at enclosing nodes, DocId labels
+  /// resolving to live nodes, and refcounts equal to the number of
+  /// documents whose insertion path traverses each node. O(N log N) time,
+  /// O(N) memory. Returns the findings; an empty `problems` means clean.
+  struct IntegrityReport {
+    uint64_t nodes = 0;
+    uint64_t doc_entries = 0;
+    std::vector<std::string> problems;
+
+    bool ok() const { return problems.empty(); }
+  };
+  Result<IntegrityReport> CheckIntegrity();
+
+  /// Persists the symbol table and commits the page file's current batch.
+  /// All mutations between two Flush() calls form one atomic unit: after
+  /// a crash, the index reopens in the state of the last Flush.
+  Status Flush();
+
+  /// Test hook: abandons all unflushed state as a crashed process would.
+  /// The index object is unusable afterwards; reopen the directory.
+  void SimulateCrashForTesting();
+
+ private:
+  VistIndex(std::string dir, VistOptions options);
+
+  Status InitTrees(bool create);
+  Status LoadRootRecord(NodeRecord* record);
+  Status WriteRecord(const std::string& entry_key, const NodeRecord& record);
+
+  struct PathEntry {
+    std::string key;  // entry key in the combined tree
+    NodeRecord record;
+    Symbol symbol = kInvalidSymbol;  // element symbol (root: invalid)
+    bool dirty = false;
+  };
+
+  /// Finds the immediate child of `parent` with the given D-key, if any.
+  Result<bool> FindImmediateChild(const std::string& dkey,
+                                  const NodeRecord& parent, PathEntry* out);
+
+  /// Scope underflow (§3.4.1): labels the remaining elements sequentially
+  /// from the nearest ancestor reserve with room, rebuilding the path tail
+  /// (duplicating the intermediate nodes the run bypasses).
+  Status InsertUnderflowRun(const Sequence& sequence,
+                            std::vector<PathEntry>* path);
+
+  /// Backtracking walk used by DeleteSequence.
+  Result<bool> TryDelete(const Sequence& sequence, size_t i, uint64_t doc_id,
+                         std::vector<PathEntry>* path);
+
+  Status StoreDocumentText(uint64_t doc_id, const std::string& text);
+  Status DeleteDocumentText(uint64_t doc_id);
+
+  uint64_t max_depth() const { return pager_->GetMetaSlot(3); }
+  void set_max_depth(uint64_t d) { pager_->SetMetaSlot(3, d); }
+  uint64_t underflow_runs() const { return pager_->GetMetaSlot(4); }
+  void set_underflow_runs(uint64_t c) { pager_->SetMetaSlot(4, c); }
+
+  const std::string dir_;
+  VistOptions options_;
+  SymbolTable symtab_;
+  SchemaStats stats_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> entry_tree_;
+  std::unique_ptr<BTree> docid_tree_;
+  std::unique_ptr<BTree> doc_store_;
+  std::unique_ptr<ScopeAllocator> allocator_;
+  std::string root_key_;
+  bool crashed_ = false;
+};
+
+}  // namespace vist
+
+#endif  // VIST_VIST_VIST_INDEX_H_

@@ -1,0 +1,73 @@
+#include "xml/node.h"
+
+namespace vist {
+namespace xml {
+
+Node* Node::AddElement(std::string_view name) {
+  auto node = std::make_unique<Node>(NodeKind::kElement);
+  node->set_name(name);
+  return AddChild(std::move(node));
+}
+
+Node* Node::AddAttribute(std::string_view name, std::string_view value) {
+  auto node = std::make_unique<Node>(NodeKind::kAttribute);
+  node->set_name(name);
+  node->set_value(value);
+  return AddChild(std::move(node));
+}
+
+Node* Node::AddText(std::string_view text) {
+  auto node = std::make_unique<Node>(NodeKind::kText);
+  node->set_value(text);
+  return AddChild(std::move(node));
+}
+
+Node* Node::FindChildElement(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::string_view Node::Attribute(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->is_attribute() && child->name() == name) {
+      return child->value();
+    }
+  }
+  return {};
+}
+
+std::string Node::Text() const {
+  std::string result;
+  for (const auto& child : children_) {
+    if (child->is_text()) result += child->value();
+  }
+  return result;
+}
+
+size_t Node::SubtreeSize() const {
+  size_t total = 1;
+  for (const auto& child : children_) total += child->SubtreeSize();
+  return total;
+}
+
+bool Node::DeepEquals(const Node& other) const {
+  if (kind_ != other.kind_ || name_ != other.name_ || value_ != other.value_ ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->DeepEquals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+Document Document::WithRoot(std::string_view name) {
+  auto root = std::make_unique<Node>(NodeKind::kElement);
+  root->set_name(name);
+  return Document(std::move(root));
+}
+
+}  // namespace xml
+}  // namespace vist

@@ -1,0 +1,112 @@
+// The XML document model: an ordered tree of elements, attributes, and text.
+//
+// This matches the paper's data model (§2): a document is a node-labeled
+// tree where attributes hang off their element and attribute/text values are
+// themselves child nodes (they become hashed value symbols in the
+// structure-encoded sequence). Mixed content is supported; namespaces,
+// processing instructions, and DTD internals are out of scope (parsed and
+// skipped).
+
+#ifndef VIST_XML_NODE_H_
+#define VIST_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vist {
+namespace xml {
+
+enum class NodeKind {
+  kElement,    // <name>...</name>; `name` set, `value` empty
+  kAttribute,  // name="value" on its parent element
+  kText,       // character data; `value` set, `name` empty
+};
+
+/// One node in the document tree. Elements own their attribute nodes and
+/// their content (element/text) children, in document order with attributes
+/// first (the order XML serialization implies).
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_attribute() const { return kind_ == NodeKind::kAttribute; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string_view name) { name_ = name; }
+
+  const std::string& value() const { return value_; }
+  void set_value(std::string_view value) { value_ = value; }
+
+  Node* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  size_t num_children() const { return children_.size(); }
+  Node* child(size_t i) const { return children_[i].get(); }
+
+  /// Appends a child and returns it (builder-style construction).
+  Node* AddChild(std::unique_ptr<Node> child) {
+    child->parent_ = this;
+    children_.push_back(std::move(child));
+    return children_.back().get();
+  }
+
+  /// Convenience builders used by generators, tests, and examples.
+  Node* AddElement(std::string_view name);
+  Node* AddAttribute(std::string_view name, std::string_view value);
+  Node* AddText(std::string_view text);
+
+  /// First child element with the given name, or nullptr.
+  Node* FindChildElement(std::string_view name) const;
+  /// Value of the named attribute, or empty string.
+  std::string_view Attribute(std::string_view name) const;
+  /// Concatenation of all direct text children.
+  std::string Text() const;
+
+  /// Total nodes in this subtree (this node included).
+  size_t SubtreeSize() const;
+
+  /// Structural equality: same kind/name/value and recursively equal
+  /// children in the same order.
+  bool DeepEquals(const Node& other) const;
+
+ private:
+  NodeKind kind_;
+  std::string name_;
+  std::string value_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// An XML document: owns the root element.
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  Node* root() const { return root_.get(); }
+  void set_root(std::unique_ptr<Node> root) { root_ = std::move(root); }
+
+  /// Creates a document with a fresh root element of the given name.
+  static Document WithRoot(std::string_view name);
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace xml
+}  // namespace vist
+
+#endif  // VIST_XML_NODE_H_

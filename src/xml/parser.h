@@ -1,0 +1,41 @@
+// A small, strict XML parser for the subset the index consumes.
+//
+// Supported: prolog, comments, DOCTYPE (skipped), elements, attributes with
+// single- or double-quoted values, character data, CDATA sections, the five
+// predefined entities plus decimal/hex character references, self-closing
+// tags. Not supported (rejected or skipped): namespaces processing beyond
+// treating "a:b" as a plain name, processing instructions (skipped), and
+// external entities (rejected — also the safe choice).
+
+#ifndef VIST_XML_PARSER_H_
+#define VIST_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace vist {
+namespace xml {
+
+struct ParseOptions {
+  /// Drop text nodes that are entirely whitespace (the usual choice for
+  /// data-oriented XML; keeps sequences free of formatting noise).
+  bool ignore_whitespace_text = true;
+  /// Maximum element nesting depth; deeper input is rejected (protects
+  /// the recursive-descent parser's stack against adversarial input).
+  int max_depth = 512;
+};
+
+/// Parses one well-formed XML document. Errors carry 1-based line/column.
+Result<Document> Parse(std::string_view input,
+                       const ParseOptions& options = ParseOptions());
+
+/// Parses a file from disk.
+Result<Document> ParseFile(const std::string& path,
+                           const ParseOptions& options = ParseOptions());
+
+}  // namespace xml
+}  // namespace vist
+
+#endif  // VIST_XML_PARSER_H_

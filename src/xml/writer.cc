@@ -1,0 +1,112 @@
+#include "xml/writer.h"
+
+#include "common/logging.h"
+
+namespace vist {
+namespace xml {
+namespace {
+
+void EscapeInto(std::string_view text, bool in_attribute, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        if (in_attribute) {
+          *out += "&quot;";
+        } else {
+          *out += c;
+        }
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void WriteElement(const Node& node, const WriteOptions& options, int depth,
+                  std::string* out) {
+  VIST_CHECK(node.is_element());
+  auto indent = [&](int d) {
+    if (options.pretty) out->append(2 * static_cast<size_t>(d), ' ');
+  };
+  auto newline = [&] {
+    if (options.pretty) *out += '\n';
+  };
+
+  indent(depth);
+  *out += '<';
+  *out += node.name();
+  bool has_content = false;
+  for (const auto& child : node.children()) {
+    if (child->is_attribute()) {
+      *out += ' ';
+      *out += child->name();
+      *out += "=\"";
+      EscapeInto(child->value(), /*in_attribute=*/true, out);
+      *out += '"';
+    } else {
+      has_content = true;
+    }
+  }
+  if (!has_content) {
+    *out += "/>";
+    newline();
+    return;
+  }
+  *out += '>';
+  // Pretty-printing inserts structure whitespace only when there is no text
+  // content (text must round-trip exactly).
+  bool has_text = false;
+  for (const auto& child : node.children()) {
+    if (child->is_text()) has_text = true;
+  }
+  const bool structural = options.pretty && !has_text;
+  if (structural) *out += '\n';
+  for (const auto& child : node.children()) {
+    switch (child->kind()) {
+      case NodeKind::kAttribute:
+        break;  // already written
+      case NodeKind::kText:
+        EscapeInto(child->value(), /*in_attribute=*/false, out);
+        break;
+      case NodeKind::kElement:
+        if (structural) {
+          WriteElement(*child, options, depth + 1, out);
+        } else {
+          WriteOptions flat = options;
+          flat.pretty = false;
+          WriteElement(*child, flat, 0, out);
+        }
+        break;
+    }
+  }
+  if (structural) indent(depth);
+  *out += "</";
+  *out += node.name();
+  *out += '>';
+  newline();
+}
+
+}  // namespace
+
+std::string WriteNode(const Node& node, const WriteOptions& options) {
+  std::string out;
+  WriteElement(node, options, 0, &out);
+  return out;
+}
+
+std::string Write(const Document& doc, const WriteOptions& options) {
+  if (doc.root() == nullptr) return "";
+  return WriteNode(*doc.root(), options);
+}
+
+}  // namespace xml
+}  // namespace vist

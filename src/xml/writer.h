@@ -1,0 +1,31 @@
+// Serializes a Document back to XML text.
+
+#ifndef VIST_XML_WRITER_H_
+#define VIST_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace vist {
+namespace xml {
+
+struct WriteOptions {
+  /// Pretty-print with 2-space indentation. When false the output is one
+  /// line with no inter-element whitespace (round-trip safe with the
+  /// parser's default whitespace handling either way).
+  bool pretty = false;
+};
+
+/// Returns the XML text for `doc` (no <?xml?> declaration).
+std::string Write(const Document& doc,
+                  const WriteOptions& options = WriteOptions());
+
+/// Serializes a single subtree.
+std::string WriteNode(const Node& node,
+                      const WriteOptions& options = WriteOptions());
+
+}  // namespace xml
+}  // namespace vist
+
+#endif  // VIST_XML_WRITER_H_

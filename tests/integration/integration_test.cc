@@ -1,0 +1,161 @@
+// End-to-end integration: the whole pipeline at moderate scale — generate,
+// split, index (dynamic and bulk), query through every engine, verify,
+// delete, flush, crash, recover, reopen — with cross-engine answers checked
+// at each stage.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "baseline/node_index.h"
+#include "baseline/path_index.h"
+#include "datagen/xmark_gen.h"
+#include "query/path_parser.h"
+#include "query/query_sequence.h"
+#include "vist/rist_builder.h"
+#include "vist/verifier.h"
+#include "vist/vist_index.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace vist {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vist_integration_" + std::to_string(getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationTest, FullLifecycleAtScale) {
+  constexpr int kRecords = 800;
+  const std::string index_dir = (dir_ / "vist").string();
+
+  // --- Build phase: ViST (dynamic), node index, path index, RIST. -------
+  VistOptions options;
+  options.store_documents = true;
+  auto vist = VistIndex::Create(index_dir, options);
+  ASSERT_TRUE(vist.ok());
+  auto nodes = NodeIndex::Create((dir_ / "nodes").string(),
+                                 (*vist)->symbols());
+  auto paths = PathIndex::Create((dir_ / "paths").string(),
+                                 (*vist)->symbols());
+  ASSERT_TRUE(nodes.ok() && paths.ok());
+
+  XmarkGenerator gen{XmarkOptions{}};
+  std::map<uint64_t, std::string> corpus;
+  std::vector<std::pair<uint64_t, Sequence>> sequences;
+  for (int i = 0; i < kRecords; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    const uint64_t id = i + 1;
+    corpus[id] = xml::Write(doc);
+    ASSERT_TRUE((*vist)->InsertDocument(*doc.root(), id).ok());
+    ASSERT_TRUE((*nodes)->InsertDocument(*doc.root(), id).ok());
+    Sequence seq = BuildSequence(*doc.root(), (*vist)->symbols());
+    ASSERT_TRUE((*paths)->InsertSequence(seq, id).ok());
+    sequences.emplace_back(id, std::move(seq));
+  }
+  auto rist = RistIndex::Build((dir_ / "rist").string(), sequences,
+                               (*vist)->symbols());
+  ASSERT_TRUE(rist.ok());
+
+  const char* kQueries[] = {
+      "/site//item[location='US']",
+      "/site//person/*/city[text()='Pocatello']",
+      "//closed_auction[*[person='person1']]",
+      "//mail/date",
+      "/site/people/person[address[country='US']]",
+      "//open_auction[seller[person]]",
+      "/site//interest",
+  };
+
+  auto truth = [&](const char* q) {
+    auto expr = query::ParsePath(q);
+    EXPECT_TRUE(expr.ok());
+    auto tree = query::BuildQueryTree(*expr);
+    EXPECT_TRUE(tree.ok());
+    std::vector<uint64_t> out;
+    for (const auto& [id, text] : corpus) {
+      auto doc = xml::Parse(text);
+      if (VerifyEmbedding(*tree, *doc->root())) out.push_back(id);
+    }
+    return out;
+  };
+
+  // --- Query phase: every engine agrees with its contract. --------------
+  for (const char* q : kQueries) {
+    std::vector<uint64_t> expected = truth(q);
+    QueryOptions verify;
+    verify.verify = true;
+    auto verified = (*vist)->Query(q, verify);
+    ASSERT_TRUE(verified.ok()) << q;
+    EXPECT_EQ(*verified, expected) << q;
+
+    auto node_ids = (*nodes)->Query(q);
+    ASSERT_TRUE(node_ids.ok()) << q;
+    EXPECT_EQ(*node_ids, expected) << q;
+
+    auto raw = (*vist)->Query(q);
+    auto rist_ids = (*rist)->Query(q);
+    ASSERT_TRUE(raw.ok() && rist_ids.ok()) << q;
+    EXPECT_EQ(*raw, *rist_ids) << q;  // shared matcher, shared semantics
+    EXPECT_TRUE(std::includes(raw->begin(), raw->end(), expected.begin(),
+                              expected.end()))
+        << q;  // sequence matching over-approximates, never misses
+
+    auto path_ids = (*paths)->Query(q);
+    ASSERT_TRUE(path_ids.ok()) << q;
+    EXPECT_TRUE(std::includes(path_ids->begin(), path_ids->end(),
+                              expected.begin(), expected.end()))
+        << q;
+  }
+
+  // --- Mutation phase: delete a third, re-check one query. --------------
+  for (uint64_t id = 1; id <= kRecords; id += 3) {
+    auto doc = xml::Parse(corpus[id]);
+    ASSERT_TRUE((*vist)->DeleteDocument(*doc->root(), id).ok()) << id;
+    corpus.erase(id);
+  }
+  {
+    const char* q = "/site//item[location='US']";
+    std::vector<uint64_t> expected = truth(q);
+    QueryOptions verify;
+    verify.verify = true;
+    auto verified = (*vist)->Query(q, verify);
+    ASSERT_TRUE(verified.ok());
+    EXPECT_EQ(*verified, expected);
+  }
+
+  // --- Durability phase: flush, crash with pending writes, reopen. ------
+  ASSERT_TRUE((*vist)->Flush().ok());
+  {
+    xml::Document extra = gen.NextRecord(kRecords + 1);
+    ASSERT_TRUE(
+        (*vist)->InsertDocument(*extra.root(), kRecords + 1000).ok());
+    (*vist)->SimulateCrashForTesting();
+  }
+  auto reopened = VistIndex::Open(index_dir, VistOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto stats = (*reopened)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_documents, corpus.size());
+  {
+    const char* q = "//mail/date";
+    std::vector<uint64_t> expected = truth(q);
+    QueryOptions verify;
+    verify.verify = true;
+    auto verified = (*reopened)->Query(q, verify);
+    ASSERT_TRUE(verified.ok());
+    EXPECT_EQ(*verified, expected);
+  }
+}
+
+}  // namespace
+}  // namespace vist

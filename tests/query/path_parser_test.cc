@@ -1,0 +1,152 @@
+#include "query/path_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace vist {
+namespace query {
+namespace {
+
+TEST(PathParserTest, SimplePath) {
+  // Paper Q1 (Table 3).
+  auto expr = ParsePath("/inproceedings/title");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(expr->steps.size(), 2u);
+  EXPECT_EQ(expr->steps[0].axis, Axis::kChild);
+  EXPECT_EQ(expr->steps[0].name, "inproceedings");
+  EXPECT_EQ(expr->steps[1].name, "title");
+  EXPECT_TRUE(expr->steps[1].predicates.empty());
+}
+
+TEST(PathParserTest, TextPredicate) {
+  // Paper Q2: /book/author[text='David'].
+  auto expr = ParsePath("/book/author[text='David']");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(expr->steps.size(), 2u);
+  ASSERT_EQ(expr->steps[1].predicates.size(), 1u);
+  const auto& pred = expr->steps[1].predicates[0];
+  EXPECT_TRUE(pred.steps.empty());
+  ASSERT_TRUE(pred.value.has_value());
+  EXPECT_EQ(*pred.value, "David");
+}
+
+TEST(PathParserTest, TextFunctionAndDotForms) {
+  for (const char* q : {"/a/b[text()='v']", "/a/b[.='v']", "/a/b[ text = 'v' ]"}) {
+    auto expr = ParsePath(q);
+    ASSERT_TRUE(expr.ok()) << q << ": " << expr.status().ToString();
+    const auto& pred = expr->steps[1].predicates[0];
+    EXPECT_TRUE(pred.steps.empty()) << q;
+    EXPECT_EQ(pred.value.value_or(""), "v") << q;
+  }
+}
+
+TEST(PathParserTest, ElementNamedTextIsNotASelfTest) {
+  auto expr = ParsePath("/a[text/b]");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  const auto& pred = expr->steps[0].predicates[0];
+  ASSERT_EQ(pred.steps.size(), 2u);
+  EXPECT_EQ(pred.steps[0].name, "text");
+  EXPECT_EQ(pred.steps[1].name, "b");
+  EXPECT_FALSE(pred.value.has_value());
+}
+
+TEST(PathParserTest, WildcardSteps) {
+  // Paper Q3: /*/author[text='David'].
+  auto expr = ParsePath("/*/author[text='David']");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_TRUE(expr->steps[0].is_wildcard());
+  EXPECT_EQ(expr->steps[1].name, "author");
+}
+
+TEST(PathParserTest, DescendantAxis) {
+  // Paper Q4: //author[text='David'].
+  auto expr = ParsePath("//author[text='David']");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->steps[0].axis, Axis::kDescendant);
+
+  // Paper Q6: /site//item[location='US']/mail/date[text='12/15/1999'].
+  auto q6 = ParsePath("/site//item[location='US']/mail/date[text='12/15/1999']");
+  ASSERT_TRUE(q6.ok()) << q6.status().ToString();
+  ASSERT_EQ(q6->steps.size(), 4u);
+  EXPECT_EQ(q6->steps[1].axis, Axis::kDescendant);
+  EXPECT_EQ(q6->steps[1].name, "item");
+  const auto& pred = q6->steps[1].predicates[0];
+  ASSERT_EQ(pred.steps.size(), 1u);
+  EXPECT_EQ(pred.steps[0].name, "location");
+  EXPECT_EQ(pred.value.value_or(""), "US");
+}
+
+TEST(PathParserTest, NestedPredicates) {
+  // Paper Q8: //closed_auction[*[person='person1']]/date[text='12/15/1999'].
+  auto expr =
+      ParsePath("//closed_auction[*[person='person1']]/date[text='12/15/1999']");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(expr->steps.size(), 2u);
+  const auto& outer = expr->steps[0].predicates[0];
+  ASSERT_EQ(outer.steps.size(), 1u);
+  EXPECT_TRUE(outer.steps[0].is_wildcard());
+  ASSERT_EQ(outer.steps[0].predicates.size(), 1u);
+  const auto& inner = outer.steps[0].predicates[0];
+  ASSERT_EQ(inner.steps.size(), 1u);
+  EXPECT_EQ(inner.steps[0].name, "person");
+  EXPECT_EQ(inner.value.value_or(""), "person1");
+}
+
+TEST(PathParserTest, MultiplePredicatesOnOneStep) {
+  // Paper Q2 (Fig. 2): /purchase[seller[loc='boston']]/buyer[loc='newyork'].
+  auto expr = ParsePath(
+      "/purchase[seller[loc='boston']]/buyer[loc='newyork']");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr->steps[0].predicates.size(), 1u);
+  EXPECT_EQ(expr->steps[1].predicates.size(), 1u);
+}
+
+TEST(PathParserTest, AttributeSyntaxAndQuotes) {
+  auto expr = ParsePath("/item[@id=\"42\"]/@name");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr->steps[0].predicates[0].steps[0].name, "id");
+  EXPECT_EQ(expr->steps[0].predicates[0].value.value_or(""), "42");
+  EXPECT_EQ(expr->steps[1].name, "name");
+}
+
+TEST(PathParserTest, BareNumberLiteral) {
+  auto expr = ParsePath("/a[b=42]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->steps[0].predicates[0].value.value_or(""), "42");
+}
+
+TEST(PathParserTest, PredicateWithDescendantPath) {
+  auto expr = ParsePath("/a[.//b='v']");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  const auto& pred = expr->steps[0].predicates[0];
+  ASSERT_EQ(pred.steps.size(), 1u);
+  EXPECT_EQ(pred.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(pred.steps[0].name, "b");
+}
+
+TEST(PathParserTest, RejectsMalformed) {
+  for (const char* bad :
+       {"", "noslash", "/a[", "/a[]", "/a[b='unterminated]", "/a[=5]", "/",
+        "/a[text()]", "/a/'lit'"}) {
+    auto expr = ParsePath(bad);
+    if (expr.ok()) {
+      // "/" and "/a[text()]" style inputs must fail.
+      ADD_FAILURE() << "accepted malformed: " << bad;
+    } else {
+      EXPECT_TRUE(expr.status().IsParseError()) << bad;
+    }
+  }
+}
+
+TEST(PathParserTest, ToStringRoundTripsShape) {
+  const char* q = "/site//item[location='US']/mail/date";
+  auto expr = ParsePath(q);
+  ASSERT_TRUE(expr.ok());
+  std::string rendered = ToString(*expr);
+  auto reparsed = ParsePath(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(rendered, ToString(*reparsed));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vist

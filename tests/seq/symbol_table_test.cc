@@ -1,0 +1,102 @@
+#include "seq/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace vist {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  Symbol p = table.Intern("purchase");
+  Symbol s = table.Intern("seller");
+  EXPECT_NE(p, s);
+  EXPECT_EQ(table.Intern("purchase"), p);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, SymbolsAreDenseNameSymbols) {
+  SymbolTable table;
+  Symbol a = table.Intern("a");
+  Symbol b = table.Intern("b");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_TRUE(IsNameSymbol(a));
+  EXPECT_FALSE(IsValueSymbol(a));
+  EXPECT_FALSE(IsWildcardSymbol(a));
+}
+
+TEST(SymbolTableTest, LookupDoesNotCreate) {
+  SymbolTable table;
+  table.Intern("known");
+  auto found = table.Lookup("known");
+  ASSERT_TRUE(found.ok());
+  auto missing = table.Lookup("unknown");
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTableTest, NameRoundTrip) {
+  SymbolTable table;
+  Symbol s = table.Intern("manufacturer");
+  auto name = table.Name(s);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "manufacturer");
+  EXPECT_FALSE(table.Name(kInvalidSymbol).ok());
+  EXPECT_FALSE(table.Name(999).ok());
+  EXPECT_FALSE(table.Name(SymbolTable::ValueSymbol("x")).ok());
+}
+
+TEST(SymbolTableTest, ValueSymbolsAreTaggedAndStable) {
+  Symbol v1 = SymbolTable::ValueSymbol("dell");
+  Symbol v2 = SymbolTable::ValueSymbol("dell");
+  Symbol v3 = SymbolTable::ValueSymbol("ibm");
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  EXPECT_TRUE(IsValueSymbol(v1));
+  EXPECT_FALSE(IsNameSymbol(v1));
+}
+
+TEST(SymbolTableTest, WildcardClassification) {
+  EXPECT_TRUE(IsWildcardSymbol(kStarSymbol));
+  EXPECT_TRUE(IsWildcardSymbol(kDescendantSymbol));
+  EXPECT_FALSE(IsNameSymbol(kStarSymbol));
+  EXPECT_FALSE(IsValueSymbol(kDescendantSymbol));
+}
+
+TEST(SymbolTableTest, SaveLoadRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("vist_symtab_" + std::to_string(getpid()) + ".tbl");
+  SymbolTable table;
+  Symbol p = table.Intern("purchase");
+  Symbol s = table.Intern("seller");
+  Symbol empty_ok = table.Intern("zzz");
+  ASSERT_TRUE(table.Save(path.string()).ok());
+
+  auto loaded = SymbolTable::Load(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->Lookup("purchase").value(), p);
+  EXPECT_EQ(loaded->Lookup("seller").value(), s);
+  EXPECT_EQ(loaded->Lookup("zzz").value(), empty_ok);
+  EXPECT_EQ(loaded->Name(p).value(), "purchase");
+  std::filesystem::remove(path);
+}
+
+TEST(SymbolTableTest, LoadRejectsMissingAndCorrupt) {
+  EXPECT_TRUE(SymbolTable::Load("/nonexistent/file").status().IsIOError());
+  auto path = std::filesystem::temp_directory_path() /
+              ("vist_symtab_bad_" + std::to_string(getpid()) + ".tbl");
+  {
+    std::ofstream out(path);
+    out << "\xFF\xFF\xFF\xFF\xFF garbage";
+  }
+  auto loaded = SymbolTable::Load(path.string());
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vist

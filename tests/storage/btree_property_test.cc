@@ -1,0 +1,173 @@
+// Property tests: the B+ tree must behave exactly like std::map under long
+// randomized sequences of interleaved Put/Delete/Get/scan, across several
+// page sizes, value sizes, and reopen points.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "storage/btree.h"
+
+namespace vist {
+namespace {
+
+struct PropertyParam {
+  uint32_t page_size;
+  int max_key_len;
+  int max_value_len;
+  uint64_t seed;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vist_btree_prop_" + std::to_string(getpid()) + "_" +
+            std::to_string(GetParam().seed) + "_" +
+            std::to_string(GetParam().page_size) + "_" +
+            std::to_string(GetParam().max_value_len));
+    std::filesystem::create_directories(dir_);
+    Open(/*create=*/true);
+  }
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    pager_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void Open(bool create) {
+    PagerOptions opts;
+    opts.page_size = GetParam().page_size;
+    auto pager = Pager::Open((dir_ / "t.db").string(), opts);
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    pager_ = std::move(pager).value();
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 32);
+    auto tree = create ? BTree::Create(pager_.get(), pool_.get(), 0)
+                       : BTree::Open(pager_.get(), pool_.get(), 0);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    tree_ = std::move(tree).value();
+  }
+
+  void Reopen() {
+    tree_.reset();
+    pool_.reset();
+    ASSERT_TRUE(pager_->Sync().ok());
+    pager_.reset();
+    Open(/*create=*/false);
+  }
+
+  std::string RandomKey(Random* rng) {
+    const int len = 1 + static_cast<int>(rng->Uniform(GetParam().max_key_len));
+    std::string key(len, 0);
+    for (int i = 0; i < len; ++i) {
+      // Narrow alphabet so Deletes hit existing keys often.
+      key[i] = static_cast<char>('a' + rng->Uniform(4));
+    }
+    return key;
+  }
+
+  void CheckFullEquality(const std::map<std::string, std::string>& model) {
+    auto it = tree_->NewIterator();
+    auto mit = model.begin();
+    for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+      ASSERT_NE(mit, model.end()) << "tree has extra key "
+                                  << it->key().ToString();
+      EXPECT_EQ(it->key().ToString(), mit->first);
+      EXPECT_EQ(it->value().ToString(), mit->second);
+    }
+    ASSERT_TRUE(it->status().ok());
+    EXPECT_EQ(mit, model.end()) << "tree is missing keys";
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
+  Random rng(GetParam().seed);
+  std::map<std::string, std::string> model;
+  const int kOps = 6000;
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t kind = rng.Uniform(10);
+    std::string key = RandomKey(&rng);
+    if (kind < 6) {  // Put
+      std::string value(rng.Uniform(GetParam().max_value_len + 1), 0);
+      for (char& c : value) c = static_cast<char>(rng.Uniform(256));
+      ASSERT_TRUE(tree_->Put(key, value).ok());
+      model[key] = value;
+    } else if (kind < 9) {  // Delete
+      Status s = tree_->Delete(key);
+      if (model.erase(key) > 0) {
+        EXPECT_TRUE(s.ok()) << "delete of present key failed: " << key;
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else {  // Get
+      auto v = tree_->Get(key);
+      auto mit = model.find(key);
+      if (mit == model.end()) {
+        EXPECT_TRUE(v.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(*v, mit->second);
+      }
+    }
+    if (op == kOps / 2) {
+      CheckFullEquality(model);
+      Reopen();
+    }
+  }
+  CheckFullEquality(model);
+  auto count = tree_->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, model.size());
+}
+
+TEST_P(BTreePropertyTest, SeekAgreesWithLowerBound) {
+  Random rng(GetParam().seed ^ 0xabcdef);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = RandomKey(&rng);
+    ASSERT_TRUE(tree_->Put(key, "v").ok());
+    model[key] = "v";
+  }
+  for (int i = 0; i < 500; ++i) {
+    std::string probe = RandomKey(&rng);
+    auto it = tree_->NewIterator();
+    it->Seek(probe);
+    auto mit = model.lower_bound(probe);
+    if (mit == model.end()) {
+      EXPECT_FALSE(it->Valid()) << probe;
+    } else {
+      ASSERT_TRUE(it->Valid()) << probe;
+      EXPECT_EQ(it->key().ToString(), mit->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreePropertyTest,
+    ::testing::Values(
+        PropertyParam{512, 8, 16, 1},     // tiny pages: deep tree, many splits
+        PropertyParam{512, 20, 40, 2},    // tiny pages, bigger cells
+        PropertyParam{4096, 12, 32, 3},   // default page size
+        PropertyParam{4096, 12, 500, 4},  // large values
+        PropertyParam{4096, 64, 0, 5},    // long keys, empty values
+        PropertyParam{16384, 24, 128, 6}  // big pages: shallow tree
+        ),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return "page" + std::to_string(info.param.page_size) + "_klen" +
+             std::to_string(info.param.max_key_len) + "_vlen" +
+             std::to_string(info.param.max_value_len) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,145 @@
+#include "suffix/naive_search.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/random.h"
+#include "query/query_sequence.h"
+#include "xml/parser.h"
+
+namespace vist {
+namespace {
+
+using query::CompiledQuery;
+using query::CompilePath;
+using query::MatchesAny;
+
+class NaiveSearchTest : public ::testing::Test {
+ protected:
+  void AddDoc(uint64_t id, const char* xml_text) {
+    auto doc = xml::Parse(xml_text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    Sequence seq = BuildSequence(*doc->root(), &symtab_);
+    sequences_[id] = seq;
+    trie_.Insert(seq, id);
+  }
+
+  std::vector<uint64_t> Run(const char* path) {
+    auto compiled = CompilePath(path, symtab_);
+    EXPECT_TRUE(compiled.ok()) << path << ": " << compiled.status().ToString();
+    return NaiveSearch(trie_, *compiled);
+  }
+
+  SymbolTable symtab_;
+  SequenceTrie trie_;
+  std::map<uint64_t, Sequence> sequences_;
+};
+
+TEST_F(NaiveSearchTest, PaperQueriesOverPurchaseRecords) {
+  // Purchase records in the shape of Fig. 1-3 (names shortened as in the
+  // paper's Fig. 2 queries).
+  AddDoc(1,
+         "<P><S><N>dell</N><I><M>ibm</M></I><L>boston</L></S>"
+         "<B><L>newyork</L></B></P>");
+  AddDoc(2,
+         "<P><S><N>hp</N><I><M>intel</M></I><L>chicago</L></S>"
+         "<B><L>boston</L></B></P>");
+  AddDoc(3,
+         "<P><S><N>acme</N><I><I><M>intel</M></I></I><L>boston</L></S>"
+         "<B><L>seattle</L></B></P>");
+
+  // Q1: all purchases where sellers supply items with a manufacturer.
+  EXPECT_EQ(Run("/P/S/I/M"), (std::vector<uint64_t>{1, 2}));
+  // Q2: Boston sellers and NY buyers.
+  EXPECT_EQ(Run("/P[S[L='boston']]/B[L='newyork']"),
+            (std::vector<uint64_t>{1}));
+  // Q3: Boston seller or buyer => '*' query.
+  EXPECT_EQ(Run("/P/*[L='boston']"), (std::vector<uint64_t>{1, 2, 3}));
+  // Q4: Intel products anywhere (items or subitems).
+  EXPECT_EQ(Run("/P//I[M='intel']"), (std::vector<uint64_t>{2, 3}));
+  // No match.
+  EXPECT_TRUE(Run("/P/S/I[M='amd']").empty());
+}
+
+TEST_F(NaiveSearchTest, DocAtInnerNodeFound) {
+  AddDoc(1, "<a><b/></a>");
+  AddDoc(2, "<a><b/><c/></a>");
+  EXPECT_EQ(Run("/a/b"), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Run("/a/c"), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(Run("/a"), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_F(NaiveSearchTest, EmptyCompiledQueryReturnsNothing) {
+  AddDoc(1, "<a><b/></a>");
+  EXPECT_TRUE(Run("/a/zzz_unknown").empty());
+}
+
+// Randomized equivalence: NaiveSearch over a trie of random documents must
+// agree exactly with the per-sequence oracle MatchesAny.
+class NaiveOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomXml(Random* rng, int max_depth) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  static const char* kValues[] = {"x", "y", "z"};
+  std::function<std::string(int)> gen = [&](int depth) {
+    std::string name = kNames[rng->Uniform(4)];
+    std::string out = "<" + name;
+    if (rng->Bernoulli(0.3)) {
+      out += " at='" + std::string(kValues[rng->Uniform(3)]) + "'";
+    }
+    out += ">";
+    if (rng->Bernoulli(0.3)) out += kValues[rng->Uniform(3)];
+    if (depth < max_depth) {
+      const int kids = static_cast<int>(rng->Uniform(3));
+      for (int i = 0; i < kids; ++i) out += gen(depth + 1);
+    }
+    out += "</" + name + ">";
+    return out;
+  };
+  return gen(0);
+}
+
+const char* kRandomQueries[] = {
+    "/a",
+    "/a/b",
+    "/a/*[b]",
+    "/a[b][c]",
+    "/a[at='x']",
+    "//b[at='y']",
+    "/a//c",
+    "/a/*[at='z']",
+    "//c[text()='x']",
+    "/a[b/c]/b",
+    "/a[b][b/d]",
+    "//b//c",
+};
+
+TEST_P(NaiveOracleTest, AgreesWithSequenceOracle) {
+  Random rng(GetParam());
+  SymbolTable symtab;
+  SequenceTrie trie;
+  std::map<uint64_t, Sequence> sequences;
+  for (uint64_t id = 1; id <= 60; ++id) {
+    auto doc = xml::Parse(RandomXml(&rng, 3));
+    ASSERT_TRUE(doc.ok());
+    Sequence seq = BuildSequence(*doc->root(), &symtab);
+    sequences[id] = seq;
+    trie.Insert(seq, id);
+  }
+  for (const char* path : kRandomQueries) {
+    auto compiled = CompilePath(path, symtab);
+    if (!compiled.ok()) continue;  // vocabulary not present in this corpus
+    std::vector<uint64_t> expected;
+    for (const auto& [id, seq] : sequences) {
+      if (MatchesAny(*compiled, seq)) expected.push_back(id);
+    }
+    EXPECT_EQ(NaiveSearch(trie, *compiled), expected) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveOracleTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace vist

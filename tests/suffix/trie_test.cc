@@ -1,0 +1,133 @@
+#include "suffix/trie.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "seq/sequence.h"
+#include "xml/parser.h"
+
+namespace vist {
+namespace {
+
+Sequence Seq(const char* xml_text, SymbolTable* symtab) {
+  auto doc = xml::Parse(xml_text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return BuildSequence(*doc->root(), symtab);
+}
+
+TEST(TrieTest, SharedPrefixesShareNodes) {
+  // Fig. 5: Doc1 and Doc2 share only the root element (P,).
+  SymbolTable symtab;
+  SequenceTrie trie;
+  // Doc1 = (P,)(S,P)(N,PS)(v1,PSN)(L,PS)(v2,PSL)
+  Sequence d1 = Seq("<P><S><N>v1</N><L>v2</L></S></P>", &symtab);
+  // Doc2 = (P,)(B,P)(L,PB)(v2,PBL)
+  Sequence d2 = Seq("<P><B><L>v2</L></B></P>", &symtab);
+  trie.Insert(d1, 1);
+  trie.Insert(d2, 2);
+  // Nodes: 6 for Doc1 + 3 new for Doc2 (B, L, v2) = 9 — as in Fig. 5.
+  EXPECT_EQ(trie.num_nodes(), 9u);
+  EXPECT_EQ(trie.root()->children.size(), 1u);  // the shared (P,)
+  TrieNode* p = trie.root()->children[0].get();
+  EXPECT_EQ(p->children.size(), 2u);  // (S,P) and (B,P)
+}
+
+TEST(TrieTest, DocIdsAttachAtFinalNode) {
+  SymbolTable symtab;
+  SequenceTrie trie;
+  Sequence d = Seq("<a><b/></a>", &symtab);
+  trie.Insert(d, 7);
+  trie.Insert(d, 8);  // identical structure: same final node
+  EXPECT_EQ(trie.num_nodes(), 2u);
+  TrieNode* a = trie.root()->children[0].get();
+  TrieNode* b = a->children[0].get();
+  EXPECT_TRUE(a->doc_ids.empty());
+  ASSERT_EQ(b->doc_ids.size(), 2u);
+  EXPECT_EQ(b->doc_ids[0], 7u);
+  EXPECT_EQ(b->doc_ids[1], 8u);
+}
+
+TEST(TrieTest, PrefixDocEndsAtInnerNode) {
+  SymbolTable symtab;
+  SequenceTrie trie;
+  trie.Insert(Seq("<a><b/></a>", &symtab), 1);
+  trie.Insert(Seq("<a/>", &symtab), 2);
+  TrieNode* a = trie.root()->children[0].get();
+  ASSERT_EQ(a->doc_ids.size(), 1u);
+  EXPECT_EQ(a->doc_ids[0], 2u);
+}
+
+TEST(TrieTest, FindChildDistinguishesPrefixes) {
+  SymbolTable symtab;
+  SequenceTrie trie;
+  // Two docs where element L appears with different prefixes.
+  trie.Insert(Seq("<P><S><L>x</L></S></P>", &symtab), 1);
+  trie.Insert(Seq("<P><B><L>x</L></B></P>", &symtab), 2);
+  Symbol P = symtab.Lookup("P").value();
+  Symbol S = symtab.Lookup("S").value();
+  Symbol B = symtab.Lookup("B").value();
+  Symbol L = symtab.Lookup("L").value();
+  TrieNode* p = trie.root()->FindChild({P, {}});
+  ASSERT_NE(p, nullptr);
+  TrieNode* s = p->FindChild({S, {P}});
+  ASSERT_NE(s, nullptr);
+  EXPECT_NE(s->FindChild({L, {P, S}}), nullptr);
+  EXPECT_EQ(s->FindChild({L, {P, B}}), nullptr);
+  EXPECT_EQ(p->FindChild({L, {P}}), nullptr);
+}
+
+TEST(TrieTest, LabelsEncodeAncestorship) {
+  SymbolTable symtab;
+  SequenceTrie trie;
+  trie.Insert(Seq("<P><S><N>v1</N><L>v2</L></S></P>", &symtab), 1);
+  trie.Insert(Seq("<P><B><L>v2</L></B></P>", &symtab), 2);
+  LabelTrie(&trie);
+
+  // Root covers everything.
+  EXPECT_EQ(trie.root()->n, 0u);
+  EXPECT_EQ(trie.root()->size, trie.num_nodes());
+
+  // Gather all nodes and check: x is an ancestor of y (by parent chain)
+  // iff n_y in (n_x, n_x + size_x].
+  std::vector<const TrieNode*> all;
+  std::function<void(const TrieNode*)> walk = [&](const TrieNode* node) {
+    all.push_back(node);
+    for (const auto& c : node->children) walk(c.get());
+  };
+  walk(trie.root());
+  for (const TrieNode* x : all) {
+    for (const TrieNode* y : all) {
+      bool is_ancestor = false;
+      for (const TrieNode* up = y->parent; up != nullptr; up = up->parent) {
+        if (up == x) {
+          is_ancestor = true;
+          break;
+        }
+      }
+      const bool label_says = y->n > x->n && y->n <= x->n + x->size;
+      EXPECT_EQ(is_ancestor, label_says)
+          << "x.n=" << x->n << " x.size=" << x->size << " y.n=" << y->n;
+    }
+  }
+}
+
+TEST(TrieTest, PreorderRanksAreDense) {
+  SymbolTable symtab;
+  SequenceTrie trie;
+  trie.Insert(Seq("<a><b><c/></b><d/></a>", &symtab), 1);
+  trie.Insert(Seq("<a><e/></a>", &symtab), 2);
+  LabelTrie(&trie);
+  std::vector<bool> seen(trie.num_nodes() + 1, false);
+  std::function<void(const TrieNode*)> walk = [&](const TrieNode* node) {
+    ASSERT_LT(node->n, seen.size());
+    EXPECT_FALSE(seen[node->n]) << "duplicate rank " << node->n;
+    seen[node->n] = true;
+    for (const auto& c : node->children) walk(c.get());
+  };
+  walk(trie.root());
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+}  // namespace
+}  // namespace vist

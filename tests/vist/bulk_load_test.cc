@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+
+#include "common/random.h"
+#include "vist/vist_index.h"
+#include "xml/parser.h"
+
+namespace vist {
+namespace {
+
+std::string RandomXml(Random* rng, int max_depth) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  static const char* kValues[] = {"x", "y", "z"};
+  std::function<std::string(int)> gen = [&](int depth) {
+    std::string name = kNames[rng->Uniform(4)];
+    std::string out = "<" + name;
+    if (rng->Bernoulli(0.3)) {
+      out += " at='" + std::string(kValues[rng->Uniform(3)]) + "'";
+    }
+    out += ">";
+    if (rng->Bernoulli(0.3)) out += kValues[rng->Uniform(3)];
+    if (depth < max_depth) {
+      const int kids = static_cast<int>(rng->Uniform(3));
+      for (int i = 0; i < kids; ++i) out += gen(depth + 1);
+    }
+    out += "</" + name + ">";
+    return out;
+  };
+  return gen(0);
+}
+
+class BulkLoadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vist_bulk_test_" + std::to_string(getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BulkLoadTest, MatchesDynamicInsertionExactly) {
+  Random rng(321);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 120; ++i) corpus.push_back(RandomXml(&rng, 4));
+
+  auto dynamic = VistIndex::Create((dir_ / "dyn").string(), VistOptions());
+  ASSERT_TRUE(dynamic.ok());
+  std::vector<std::pair<uint64_t, Sequence>> sequences;
+  auto bulk = VistIndex::Create((dir_ / "bulk").string(), VistOptions());
+  ASSERT_TRUE(bulk.ok());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto doc = xml::Parse(corpus[i]);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE((*dynamic)->InsertDocument(*doc->root(), i + 1).ok());
+    sequences.emplace_back(
+        i + 1, BuildSequence(*doc->root(), (*bulk)->symbols()));
+  }
+  ASSERT_TRUE((*bulk)->BulkLoadSequences(sequences).ok());
+
+  auto dyn_stats = (*dynamic)->Stats();
+  auto bulk_stats = (*bulk)->Stats();
+  ASSERT_TRUE(dyn_stats.ok() && bulk_stats.ok());
+  EXPECT_EQ(bulk_stats->num_documents, dyn_stats->num_documents);
+  EXPECT_EQ(bulk_stats->num_entries, dyn_stats->num_entries);
+  EXPECT_EQ(bulk_stats->max_depth, dyn_stats->max_depth);
+  // Sorted writes pack pages at least as densely as random inserts.
+  EXPECT_LE(bulk_stats->size_bytes, dyn_stats->size_bytes);
+
+  for (const char* q :
+       {"/a", "/a/b", "/a[b][c]", "//b[at='y']", "/a//c", "/a/*[at='z']",
+        "//c[text()='x']", "/a[b/c]/b", "/c[.//d='y']"}) {
+    auto d = (*dynamic)->Query(q);
+    auto b = (*bulk)->Query(q);
+    ASSERT_TRUE(d.ok() && b.ok()) << q;
+    EXPECT_EQ(*b, *d) << q;
+  }
+}
+
+TEST_F(BulkLoadTest, BulkLoadedIndexStaysDynamic) {
+  auto index = VistIndex::Create(dir_.string(), VistOptions());
+  ASSERT_TRUE(index.ok());
+  std::vector<std::pair<uint64_t, Sequence>> sequences;
+  for (int i = 0; i < 10; ++i) {
+    auto doc = xml::Parse("<a><b>v" + std::to_string(i) + "</b></a>");
+    ASSERT_TRUE(doc.ok());
+    sequences.emplace_back(i + 1,
+                           BuildSequence(*doc->root(), (*index)->symbols()));
+  }
+  ASSERT_TRUE((*index)->BulkLoadSequences(sequences).ok());
+  // Insert and delete dynamically afterwards.
+  auto extra = xml::Parse("<a><c>new</c></a>");
+  ASSERT_TRUE((*index)->InsertDocument(*extra->root(), 11).ok());
+  auto c = (*index)->Query("/a/c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (std::vector<uint64_t>{11}));
+  auto first = xml::Parse("<a><b>v0</b></a>");
+  ASSERT_TRUE((*index)->DeleteDocument(*first->root(), 1).ok());
+  auto b = (*index)->Query("/a/b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 9u);
+}
+
+TEST_F(BulkLoadTest, RequiresEmptyIndex) {
+  auto index = VistIndex::Create(dir_.string(), VistOptions());
+  ASSERT_TRUE(index.ok());
+  auto doc = xml::Parse("<a/>");
+  ASSERT_TRUE((*index)->InsertDocument(*doc->root(), 1).ok());
+  std::vector<std::pair<uint64_t, Sequence>> sequences;
+  sequences.emplace_back(2, BuildSequence(*doc->root(), (*index)->symbols()));
+  EXPECT_TRUE((*index)->BulkLoadSequences(sequences).IsInvalidArgument());
+}
+
+TEST_F(BulkLoadTest, UnderflowHandledDuringBulkLoad) {
+  VistOptions options;
+  options.lambda = 256;
+  auto index = VistIndex::Create(dir_.string(), options);
+  ASSERT_TRUE(index.ok());
+  std::string xml_text, closing;
+  for (int i = 0; i < 40; ++i) {
+    xml_text += "<d" + std::to_string(i) + ">";
+    closing = "</d" + std::to_string(i) + ">" + closing;
+  }
+  xml_text += "leaf" + closing;
+  auto doc = xml::Parse(xml_text);
+  ASSERT_TRUE(doc.ok());
+  std::vector<std::pair<uint64_t, Sequence>> sequences;
+  sequences.emplace_back(1, BuildSequence(*doc->root(), (*index)->symbols()));
+  ASSERT_TRUE((*index)->BulkLoadSequences(sequences).ok());
+  auto stats = (*index)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->underflow_runs, 0u);
+  auto hit = (*index)->Query("//d39[text()='leaf']");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,184 @@
+// The central correctness property (DESIGN.md §4, invariant 5): ViST,
+// RIST, the naive suffix-tree algorithm, and the per-sequence oracle must
+// return identical answers on randomized corpora and queries — across
+// allocator strategies, λ values, and after deletions.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <map>
+
+#include "common/random.h"
+#include "query/query_sequence.h"
+#include "suffix/naive_search.h"
+#include "vist/rist_builder.h"
+#include "vist/vist_index.h"
+#include "xml/parser.h"
+
+namespace vist {
+namespace {
+
+std::string RandomXml(Random* rng, int max_depth) {
+  static const char* kNames[] = {"a", "b", "c", "d", "e"};
+  static const char* kValues[] = {"x", "y", "z", "w"};
+  std::function<std::string(int)> gen = [&](int depth) {
+    std::string name = kNames[rng->Uniform(5)];
+    std::string out = "<" + name;
+    if (rng->Bernoulli(0.35)) {
+      out += " at='" + std::string(kValues[rng->Uniform(4)]) + "'";
+    }
+    out += ">";
+    if (rng->Bernoulli(0.3)) out += kValues[rng->Uniform(4)];
+    if (depth < max_depth) {
+      const int kids = static_cast<int>(rng->Uniform(4));
+      for (int i = 0; i < kids; ++i) out += gen(depth + 1);
+    }
+    out += "</" + name + ">";
+    return out;
+  };
+  return gen(0);
+}
+
+const char* kQueries[] = {
+    "/a",
+    "/a/b",
+    "/b//c",
+    "/a[b][c]",
+    "/a[at='x']",
+    "//b[at='y']",
+    "/a//c[at='z']",
+    "/a/*[b]",
+    "/a/*[at='w']",
+    "//c[text()='x']",
+    "/a[b/c]/b",
+    "/a[b][b/d]",
+    "//a//b//c",
+    "/c[.//d='y']",
+    "/a[b[c][d]]",
+    "/e//*[a]",
+};
+
+struct EquivParam {
+  uint64_t seed;
+  bool statistical;
+  uint64_t lambda;
+  int docs;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivParam> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vist_equiv_" + std::to_string(getpid()) + "_" +
+            std::to_string(GetParam().seed) + "_" +
+            std::to_string(GetParam().statistical) + "_" +
+            std::to_string(GetParam().lambda));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(EquivalenceTest, AllEnginesAgree) {
+  const EquivParam& param = GetParam();
+  Random rng(param.seed);
+
+  // Generate the corpus; keep documents for deletion later.
+  std::vector<std::pair<uint64_t, std::string>> corpus;
+  for (int i = 1; i <= param.docs; ++i) {
+    corpus.emplace_back(i, RandomXml(&rng, 4));
+  }
+
+  // Stats sampling pass (shares the interning order with the index below,
+  // because we feed documents in the same order).
+  SymbolTable symtab;
+  SchemaStats stats;
+  std::map<uint64_t, Sequence> sequences;
+  for (const auto& [id, text] : corpus) {
+    auto doc = xml::Parse(text);
+    ASSERT_TRUE(doc.ok());
+    sequences[id] = BuildSequence(*doc->root(), &symtab);
+    stats.CollectFrom(sequences[id]);
+  }
+
+  // ViST, built by dynamic insertion.
+  VistOptions options;
+  options.lambda = param.lambda;
+  if (param.statistical) {
+    options.allocator = VistOptions::AllocatorKind::kStatistical;
+    options.stats = &stats;
+  }
+  auto vist = VistIndex::Create((dir_ / "vist").string(), options);
+  ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+  for (const auto& [id, text] : corpus) {
+    auto doc = xml::Parse(text);
+    ASSERT_TRUE((*vist)->InsertDocument(*doc->root(), id).ok()) << id;
+  }
+
+  // RIST, bulk-built; and the naive trie.
+  std::vector<std::pair<uint64_t, Sequence>> docs(sequences.begin(),
+                                                  sequences.end());
+  auto rist = RistIndex::Build((dir_ / "rist").string(), docs, &symtab);
+  ASSERT_TRUE(rist.ok()) << rist.status().ToString();
+  SequenceTrie trie;
+  for (const auto& [id, seq] : docs) trie.Insert(seq, id);
+
+  for (const char* path : kQueries) {
+    auto compiled = query::CompilePath(path, (*vist)->symbols() != nullptr
+                                                 ? *(*vist)->symbols()
+                                                 : symtab);
+    ASSERT_TRUE(compiled.ok()) << path;
+    // Oracle.
+    std::vector<uint64_t> expected;
+    for (const auto& [id, seq] : sequences) {
+      if (query::MatchesAny(*compiled, seq)) expected.push_back(id);
+    }
+    // Engines.
+    auto vist_ids = (*vist)->QueryCompiled(*compiled);
+    ASSERT_TRUE(vist_ids.ok()) << path << ": " << vist_ids.status().ToString();
+    EXPECT_EQ(*vist_ids, expected) << "ViST, " << path;
+    auto rist_ids = (*rist)->QueryCompiled(*compiled);
+    ASSERT_TRUE(rist_ids.ok()) << path;
+    EXPECT_EQ(*rist_ids, expected) << "RIST, " << path;
+    EXPECT_EQ(NaiveSearch(trie, *compiled), expected) << "Naive, " << path;
+  }
+
+  // Delete every other document from ViST; answers must track the oracle.
+  for (size_t i = 0; i < corpus.size(); i += 2) {
+    auto doc = xml::Parse(corpus[i].second);
+    ASSERT_TRUE((*vist)->DeleteDocument(*doc->root(), corpus[i].first).ok())
+        << corpus[i].first;
+    sequences.erase(corpus[i].first);
+  }
+  for (const char* path : kQueries) {
+    auto compiled = query::CompilePath(path, symtab);
+    ASSERT_TRUE(compiled.ok());
+    std::vector<uint64_t> expected;
+    for (const auto& [id, seq] : sequences) {
+      if (query::MatchesAny(*compiled, seq)) expected.push_back(id);
+    }
+    auto vist_ids = (*vist)->QueryCompiled(*compiled);
+    ASSERT_TRUE(vist_ids.ok()) << path;
+    EXPECT_EQ(*vist_ids, expected) << "ViST after deletions, " << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Values(EquivParam{101, false, 16, 80},
+                      EquivParam{202, false, 4, 80},
+                      EquivParam{303, false, 64, 60},
+                      EquivParam{404, true, 16, 80},
+                      EquivParam{505, true, 8, 60},
+                      // Tiny λ forces deep geometric shrink + underflows.
+                      EquivParam{606, false, 2, 60}),
+    [](const ::testing::TestParamInfo<EquivParam>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.statistical ? "_stat" : "_unif") + "_lambda" +
+             std::to_string(info.param.lambda);
+    });
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,85 @@
+#include "vist/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "query/path_parser.h"
+#include "xml/parser.h"
+
+namespace vist {
+namespace {
+
+bool Embeds(const char* path, const char* xml_text) {
+  auto expr = query::ParsePath(path);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto tree = query::BuildQueryTree(*expr);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  auto doc = xml::Parse(xml_text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return VerifyEmbedding(*tree, *doc->root());
+}
+
+TEST(VerifierTest, SimplePaths) {
+  EXPECT_TRUE(Embeds("/a/b", "<a><b/></a>"));
+  EXPECT_FALSE(Embeds("/a/b", "<a><c/></a>"));
+  EXPECT_FALSE(Embeds("/b", "<a><b/></a>"));
+  EXPECT_TRUE(Embeds("/a", "<a/>"));
+}
+
+TEST(VerifierTest, ValuesOnTextAndAttributes) {
+  EXPECT_TRUE(Embeds("/a/b[text()='x']", "<a><b>x</b></a>"));
+  EXPECT_FALSE(Embeds("/a/b[text()='y']", "<a><b>x</b></a>"));
+  EXPECT_TRUE(Embeds("/a[@id='7']", "<a id=\"7\"/>"));
+  EXPECT_FALSE(Embeds("/a[@id='8']", "<a id=\"7\"/>"));
+  // Attribute value reached as a path step.
+  EXPECT_TRUE(Embeds("/a/id[.='7']", "<a id=\"7\"/>"));
+}
+
+TEST(VerifierTest, StarAndDescendant) {
+  EXPECT_TRUE(Embeds("/a/*/c", "<a><b><c/></b></a>"));
+  EXPECT_FALSE(Embeds("/a/*/c", "<a><c/></a>"));
+  EXPECT_TRUE(Embeds("/a//c", "<a><c/></a>"));
+  EXPECT_TRUE(Embeds("/a//c", "<a><b><b><c/></b></b></a>"));
+  EXPECT_FALSE(Embeds("/a//c", "<a><b/></a>"));
+  EXPECT_TRUE(Embeds("//c", "<c/>"));
+  EXPECT_TRUE(Embeds("//c", "<a><b><c/></b></a>"));
+}
+
+TEST(VerifierTest, BranchesMustShareTheAnchor) {
+  // The decisive case: sequence matching accepts both documents, the
+  // verifier only the one where a single S carries both branches.
+  const char* query = "/P/S[L='boston'][N='dell']";
+  EXPECT_TRUE(Embeds(query, "<P><S><L>boston</L><N>dell</N></S></P>"));
+  EXPECT_FALSE(Embeds(
+      query, "<P><S><L>boston</L></S><S><N>dell</N></S></P>"));
+  // Still true when a *different* S also exists.
+  EXPECT_TRUE(Embeds(query,
+                     "<P><S><L>chicago</L></S>"
+                     "<S><L>boston</L><N>dell</N></S></P>"));
+}
+
+TEST(VerifierTest, NestedPredicates) {
+  const char* q8 = "//closed_auction[*[person='p1']]/date[text()='d1']";
+  EXPECT_TRUE(Embeds(q8,
+                     "<site><closed_auction><buyer><person>p1</person>"
+                     "</buyer><date>d1</date></closed_auction></site>"));
+  EXPECT_FALSE(Embeds(q8,
+                      "<site><closed_auction><buyer><person>p2</person>"
+                      "</buyer><date>d1</date></closed_auction></site>"));
+  EXPECT_FALSE(Embeds(q8,
+                      "<site><closed_auction><buyer><person>p1</person>"
+                      "</buyer><date>d2</date></closed_auction></site>"));
+}
+
+TEST(VerifierTest, TwoPredicatesMayShareAWitness) {
+  // XPath semantics: independent existentials — one child can satisfy both.
+  EXPECT_TRUE(Embeds("/a[b][b[c]]", "<a><b><c/></b></a>"));
+}
+
+TEST(VerifierTest, DescendantUnderStar) {
+  EXPECT_TRUE(Embeds("/a/*[.//d='v']",
+                     "<a><b><c><d>v</d></c></b></a>"));
+  EXPECT_FALSE(Embeds("/a/*[.//d='v']", "<a><b><d>w</d></b></a>"));
+}
+
+}  // namespace
+}  // namespace vist
