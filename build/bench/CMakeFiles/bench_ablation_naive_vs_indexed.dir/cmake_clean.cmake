@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_naive_vs_indexed.dir/bench_ablation_naive_vs_indexed.cc.o"
+  "CMakeFiles/bench_ablation_naive_vs_indexed.dir/bench_ablation_naive_vs_indexed.cc.o.d"
+  "bench_ablation_naive_vs_indexed"
+  "bench_ablation_naive_vs_indexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_naive_vs_indexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

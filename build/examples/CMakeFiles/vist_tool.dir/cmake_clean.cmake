@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vist_tool.dir/vist_tool.cpp.o"
+  "CMakeFiles/vist_tool.dir/vist_tool.cpp.o.d"
+  "vist_tool"
+  "vist_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vist_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/node_index.cc" "src/CMakeFiles/vist.dir/baseline/node_index.cc.o" "gcc" "src/CMakeFiles/vist.dir/baseline/node_index.cc.o.d"
+  "/root/repo/src/baseline/path_index.cc" "src/CMakeFiles/vist.dir/baseline/path_index.cc.o" "gcc" "src/CMakeFiles/vist.dir/baseline/path_index.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/vist.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/vist.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/vist.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/vist.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/vist.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/vist.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/vist.dir/common/status.cc.o" "gcc" "src/CMakeFiles/vist.dir/common/status.cc.o.d"
+  "/root/repo/src/datagen/dblp_gen.cc" "src/CMakeFiles/vist.dir/datagen/dblp_gen.cc.o" "gcc" "src/CMakeFiles/vist.dir/datagen/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/CMakeFiles/vist.dir/datagen/synthetic.cc.o" "gcc" "src/CMakeFiles/vist.dir/datagen/synthetic.cc.o.d"
+  "/root/repo/src/datagen/xmark_gen.cc" "src/CMakeFiles/vist.dir/datagen/xmark_gen.cc.o" "gcc" "src/CMakeFiles/vist.dir/datagen/xmark_gen.cc.o.d"
+  "/root/repo/src/query/path_expr.cc" "src/CMakeFiles/vist.dir/query/path_expr.cc.o" "gcc" "src/CMakeFiles/vist.dir/query/path_expr.cc.o.d"
+  "/root/repo/src/query/path_parser.cc" "src/CMakeFiles/vist.dir/query/path_parser.cc.o" "gcc" "src/CMakeFiles/vist.dir/query/path_parser.cc.o.d"
+  "/root/repo/src/query/query_sequence.cc" "src/CMakeFiles/vist.dir/query/query_sequence.cc.o" "gcc" "src/CMakeFiles/vist.dir/query/query_sequence.cc.o.d"
+  "/root/repo/src/seq/key_codec.cc" "src/CMakeFiles/vist.dir/seq/key_codec.cc.o" "gcc" "src/CMakeFiles/vist.dir/seq/key_codec.cc.o.d"
+  "/root/repo/src/seq/sequence.cc" "src/CMakeFiles/vist.dir/seq/sequence.cc.o" "gcc" "src/CMakeFiles/vist.dir/seq/sequence.cc.o.d"
+  "/root/repo/src/seq/symbol_table.cc" "src/CMakeFiles/vist.dir/seq/symbol_table.cc.o" "gcc" "src/CMakeFiles/vist.dir/seq/symbol_table.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/vist.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/vist.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/vist.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/vist.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/vist.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/vist.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/vist.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/vist.dir/storage/pager.cc.o.d"
+  "/root/repo/src/suffix/naive_search.cc" "src/CMakeFiles/vist.dir/suffix/naive_search.cc.o" "gcc" "src/CMakeFiles/vist.dir/suffix/naive_search.cc.o.d"
+  "/root/repo/src/suffix/trie.cc" "src/CMakeFiles/vist.dir/suffix/trie.cc.o" "gcc" "src/CMakeFiles/vist.dir/suffix/trie.cc.o.d"
+  "/root/repo/src/vist/matcher.cc" "src/CMakeFiles/vist.dir/vist/matcher.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/matcher.cc.o.d"
+  "/root/repo/src/vist/rist_builder.cc" "src/CMakeFiles/vist.dir/vist/rist_builder.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/rist_builder.cc.o.d"
+  "/root/repo/src/vist/schema_stats.cc" "src/CMakeFiles/vist.dir/vist/schema_stats.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/schema_stats.cc.o.d"
+  "/root/repo/src/vist/scope.cc" "src/CMakeFiles/vist.dir/vist/scope.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/scope.cc.o.d"
+  "/root/repo/src/vist/scope_allocator.cc" "src/CMakeFiles/vist.dir/vist/scope_allocator.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/scope_allocator.cc.o.d"
+  "/root/repo/src/vist/splitter.cc" "src/CMakeFiles/vist.dir/vist/splitter.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/splitter.cc.o.d"
+  "/root/repo/src/vist/verifier.cc" "src/CMakeFiles/vist.dir/vist/verifier.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/verifier.cc.o.d"
+  "/root/repo/src/vist/vist_index.cc" "src/CMakeFiles/vist.dir/vist/vist_index.cc.o" "gcc" "src/CMakeFiles/vist.dir/vist/vist_index.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/vist.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/vist.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/vist.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/vist.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/vist.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/vist.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

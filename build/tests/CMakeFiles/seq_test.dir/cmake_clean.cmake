@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_test.dir/seq/key_codec_test.cc.o"
+  "CMakeFiles/seq_test.dir/seq/key_codec_test.cc.o.d"
+  "CMakeFiles/seq_test.dir/seq/sequence_test.cc.o"
+  "CMakeFiles/seq_test.dir/seq/sequence_test.cc.o.d"
+  "CMakeFiles/seq_test.dir/seq/symbol_table_test.cc.o"
+  "CMakeFiles/seq_test.dir/seq/symbol_table_test.cc.o.d"
+  "seq_test"
+  "seq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

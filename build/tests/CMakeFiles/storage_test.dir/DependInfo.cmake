@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/btree_property_test.cc" "tests/CMakeFiles/storage_test.dir/storage/btree_property_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/btree_property_test.cc.o.d"
+  "/root/repo/tests/storage/btree_test.cc" "tests/CMakeFiles/storage_test.dir/storage/btree_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/btree_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/crash_recovery_test.cc" "tests/CMakeFiles/storage_test.dir/storage/crash_recovery_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/crash_recovery_test.cc.o.d"
+  "/root/repo/tests/storage/page_test.cc" "tests/CMakeFiles/storage_test.dir/storage/page_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/page_test.cc.o.d"
+  "/root/repo/tests/storage/pager_test.cc" "tests/CMakeFiles/storage_test.dir/storage/pager_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/pager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/btree_property_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/btree_property_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/btree_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/btree_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/crash_recovery_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/crash_recovery_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/page_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/page_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/pager_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/pager_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

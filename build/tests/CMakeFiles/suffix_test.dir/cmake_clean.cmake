@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_test.dir/suffix/naive_search_test.cc.o"
+  "CMakeFiles/suffix_test.dir/suffix/naive_search_test.cc.o.d"
+  "CMakeFiles/suffix_test.dir/suffix/trie_test.cc.o"
+  "CMakeFiles/suffix_test.dir/suffix/trie_test.cc.o.d"
+  "suffix_test"
+  "suffix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vist/bulk_load_test.cc" "tests/CMakeFiles/vist_test.dir/vist/bulk_load_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/bulk_load_test.cc.o.d"
+  "/root/repo/tests/vist/equivalence_test.cc" "tests/CMakeFiles/vist_test.dir/vist/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/equivalence_test.cc.o.d"
+  "/root/repo/tests/vist/integrity_test.cc" "tests/CMakeFiles/vist_test.dir/vist/integrity_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/integrity_test.cc.o.d"
+  "/root/repo/tests/vist/matcher_test.cc" "tests/CMakeFiles/vist_test.dir/vist/matcher_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/matcher_test.cc.o.d"
+  "/root/repo/tests/vist/scope_test.cc" "tests/CMakeFiles/vist_test.dir/vist/scope_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/scope_test.cc.o.d"
+  "/root/repo/tests/vist/splitter_test.cc" "tests/CMakeFiles/vist_test.dir/vist/splitter_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/splitter_test.cc.o.d"
+  "/root/repo/tests/vist/verifier_test.cc" "tests/CMakeFiles/vist_test.dir/vist/verifier_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/verifier_test.cc.o.d"
+  "/root/repo/tests/vist/vist_index_test.cc" "tests/CMakeFiles/vist_test.dir/vist/vist_index_test.cc.o" "gcc" "tests/CMakeFiles/vist_test.dir/vist/vist_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

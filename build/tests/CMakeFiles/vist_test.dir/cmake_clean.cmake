@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vist_test.dir/vist/bulk_load_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/bulk_load_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/equivalence_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/equivalence_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/integrity_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/integrity_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/matcher_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/matcher_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/scope_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/scope_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/splitter_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/splitter_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/verifier_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/verifier_test.cc.o.d"
+  "CMakeFiles/vist_test.dir/vist/vist_index_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist/vist_index_test.cc.o.d"
+  "vist_test"
+  "vist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
