@@ -81,11 +81,11 @@ void BM_Indexed(benchmark::State& state) {
   uint64_t scanned = 0;
   for (auto _ : state) {
     for (const auto& compiled : fixture.queries) {
-      MatchCounters counters;
-      auto ids = fixture.index->QueryCompiled(compiled, &counters);
+      obs::QueryProfile profile;
+      auto ids = fixture.index->QueryCompiled(compiled, &profile);
       CheckOk(ids.status(), "query");
       hits += ids->size();
-      scanned += counters.entries_scanned;
+      scanned += profile.entries_scanned;
     }
   }
   state.counters["hits"] = static_cast<double>(hits);

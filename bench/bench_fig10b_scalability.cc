@@ -69,19 +69,24 @@ void BM_DataSize(benchmark::State& state) {
   }
 
   size_t runs = 0;
+  uint64_t nodes_accessed = 0;
   for (auto _ : state) {
     for (const auto& compiled : queries) {
       // Figure 10 measures matching only, excluding DocId output (§4).
-      auto ids = fixture.index->QueryCompiled(compiled, nullptr,
+      obs::QueryProfile profile;
+      auto ids = fixture.index->QueryCompiled(compiled, &profile,
                                               /*collect_doc_ids=*/false);
       CheckOk(ids.status(), "query");
       benchmark::DoNotOptimize(ids->data());
+      nodes_accessed += profile.index_nodes_accessed;
       ++runs;
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(runs));
   state.counters["docs"] = docs;
   state.counters["elements"] = static_cast<double>(docs) * 60;
+  state.counters["avg_index_nodes_accessed"] =
+      runs > 0 ? static_cast<double>(nodes_accessed) / runs : 0;
 }
 
 void RegisterSweep() {

@@ -116,8 +116,10 @@ std::map<std::string, size_t>& Hits() {
 template <typename Fn>
 void RunEngine(benchmark::State& state, const QuerySpec& query, Fn&& run) {
   size_t hits = 0;
+  obs::QueryProfile profile;
   for (auto _ : state) {
-    auto ids = run(query.path);
+    profile = obs::QueryProfile();  // JSON columns report the last iteration
+    auto ids = run(query.path, &profile);
     if (!ids.ok()) {
       state.SkipWithError(ids.status().ToString().c_str());
       return;
@@ -126,6 +128,17 @@ void RunEngine(benchmark::State& state, const QuerySpec& query, Fn&& run) {
     benchmark::DoNotOptimize(ids->data());
   }
   state.counters["hits"] = static_cast<double>(hits);
+  // Per-query cost columns (EXPERIMENTS.md): index_nodes_accessed is the
+  // paper's §4 comparison measure, joins the baselines' extra work, and
+  // hit_rate qualifies how much of the access count was disk-resident.
+  state.counters["index_nodes_accessed"] =
+      static_cast<double>(profile.index_nodes_accessed);
+  state.counters["candidates"] = static_cast<double>(profile.candidates);
+  state.counters["verified_results"] =
+      static_cast<double>(profile.verified_results);
+  state.counters["hit_rate"] = profile.hit_rate();
+  state.counters["range_scans"] = static_cast<double>(profile.range_scans);
+  state.counters["joins"] = static_cast<double>(profile.joins);
   Hits()[query.label] = hits;
 }
 
@@ -135,16 +148,23 @@ void BM_Query(benchmark::State& state, const QuerySpec& query,
   auto start = std::chrono::steady_clock::now();
   if (std::string(engine) == "ViST") {
     RunEngine(state, query,
-              [&](const char* path) { return engines.vist->Query(path); });
+              [&](const char* path, obs::QueryProfile* profile) {
+                QueryOptions options;
+                options.profile = profile;
+                return engines.vist->Query(path, options);
+              });
   } else if (std::string(engine) == "RIST") {
-    RunEngine(state, query,
-              [&](const char* path) { return engines.rist->Query(path); });
+    RunEngine(state, query, [&](const char* path, obs::QueryProfile* profile) {
+      return engines.rist->Query(path, profile);
+    });
   } else if (std::string(engine) == "PathIndex") {
-    RunEngine(state, query,
-              [&](const char* path) { return engines.paths->Query(path); });
+    RunEngine(state, query, [&](const char* path, obs::QueryProfile* profile) {
+      return engines.paths->Query(path, profile);
+    });
   } else {
-    RunEngine(state, query,
-              [&](const char* path) { return engines.nodes->Query(path); });
+    RunEngine(state, query, [&](const char* path, obs::QueryProfile* profile) {
+      return engines.nodes->Query(path, profile);
+    });
   }
   const size_t iterations = state.iterations();
   if (iterations > 0) {

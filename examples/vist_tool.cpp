@@ -3,7 +3,7 @@
 //   vist_tool create <index-dir> [--statistical] [--store-documents]
 //   vist_tool add    <index-dir> <file.xml> [more.xml ...]
 //   vist_tool split-add <index-dir> <file.xml> <element> [element ...]
-//   vist_tool query  <index-dir> "<path expression>" [--verify]
+//   vist_tool query  <index-dir> "<path expression>" [--verify] [--explain]
 //   vist_tool get    <index-dir> <doc-id>
 //   vist_tool stats  <index-dir>
 //
@@ -30,7 +30,7 @@ int Usage() {
           "usage: vist_tool create <dir> [--store-documents]\n"
           "       vist_tool add <dir> <file.xml> [...]\n"
           "       vist_tool split-add <dir> <file.xml> <element> [...]\n"
-          "       vist_tool query <dir> '<path>' [--verify]\n"
+          "       vist_tool query <dir> '<path>' [--verify] [--explain]\n"
           "       vist_tool get <dir> <doc-id>\n"
           "       vist_tool stats <dir>\n"
           "       vist_tool check <dir>\n");
@@ -113,11 +113,16 @@ int CmdQuery(int argc, char** argv) {
   auto index = OpenIndex(argv[0]);
   if (!index.ok()) return Fail(index.status());
   vist::QueryOptions options;
-  if (argc > 2 && strcmp(argv[2], "--verify") == 0) options.verify = true;
+  vist::obs::QueryProfile profile;
+  for (int i = 2; i < argc; ++i) {
+    if (strcmp(argv[i], "--verify") == 0) options.verify = true;
+    if (strcmp(argv[i], "--explain") == 0) options.profile = &profile;
+  }
   auto ids = (*index)->Query(argv[1], options);
   if (!ids.ok()) return Fail(ids.status());
   for (uint64_t id : *ids) printf("doc%llu\n", (unsigned long long)id);
   fprintf(stderr, "%zu match(es)\n", ids->size());
+  if (options.profile != nullptr) fputs(profile.Dump().c_str(), stderr);
   return 0;
 }
 

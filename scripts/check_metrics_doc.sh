@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Metrics-name lint: every instrument registered in src/ must be listed in
+# docs/OBSERVABILITY.md (the complete operations reference). Registered as
+# the `metrics_doc_lint` ctest, so tier-1 fails on undocumented metrics.
+#
+# Relies on the repo convention that instrument names are string literals
+# at the GetCounter/GetGauge/GetHistogram call site (no name constants) —
+# docs/OBSERVABILITY.md documents that convention.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+DOC="docs/OBSERVABILITY.md"
+
+if [ ! -f "$DOC" ]; then
+  echo "FAIL: $DOC does not exist" >&2
+  exit 1
+fi
+
+names=$(grep -rhoE 'Get(Counter|Gauge|Histogram)\("[^"]+"\)' src \
+  | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+
+if [ -z "$names" ]; then
+  echo "FAIL: found no registered metrics under src/ (lint broken?)" >&2
+  exit 1
+fi
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" "$DOC"; then
+    echo "FAIL: metric \"$name\" is registered in src/ but not documented in $DOC" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [ "$missing" -ne 0 ]; then
+  echo "Add a row for each missing metric to $DOC (see its instructions)." >&2
+  exit 1
+fi
+
+echo "OK: $(echo "$names" | wc -l) registered metrics, all documented in $DOC"

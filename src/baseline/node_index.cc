@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "query/path_parser.h"
 #include "seq/key_codec.h"
 
@@ -204,7 +205,32 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
   return candidates;
 }
 
-Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path) {
+Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
+                                               obs::QueryProfile* profile) {
+  // Metric reference: docs/OBSERVABILITY.md (baseline section).
+  static obs::Counter& queries = obs::GetCounter("baseline.node.queries");
+  static obs::Counter& joins = obs::GetCounter("baseline.node.joins");
+  queries.Increment();
+  if (profile != nullptr) {
+    profile->engine = "node_index";
+    profile->query = std::string(path);
+  }
+  obs::ProfileScope scope(profile);
+  auto result = QueryImpl(path);
+  joins.Increment(last_query_joins_);
+  if (profile != nullptr) {
+    profile->joins += last_query_joins_;
+    if (result.ok()) {
+      // Structural joins evaluate the query tree exactly, so there is no
+      // separate verification stage and the candidates are final.
+      profile->candidates += result->size();
+      profile->verified_results = profile->candidates;
+    }
+  }
+  return result;
+}
+
+Result<std::vector<uint64_t>> NodeIndex::QueryImpl(std::string_view path) {
   last_query_joins_ = 0;
   VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
   VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/query_profile.h"
 #include "query/path_expr.h"
 #include "seq/symbol_table.h"
 #include "storage/btree.h"
@@ -48,8 +49,10 @@ class NodeIndex {
   Status InsertDocument(const xml::Node& root, uint64_t doc_id);
 
   /// Evaluates a path expression with exact XPath tree-pattern semantics;
-  /// returns sorted matching doc ids.
-  Result<std::vector<uint64_t>> Query(std::string_view path);
+  /// returns sorted matching doc ids. `profile` (optional) receives the
+  /// per-query cost accounting (see obs/query_profile.h).
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      obs::QueryProfile* profile = nullptr);
 
   /// Structural joins performed by the last query.
   uint64_t last_query_joins() const { return last_query_joins_; }
@@ -73,6 +76,9 @@ class NodeIndex {
 
   NodeIndex(SymbolTable* symtab, NodeIndexOptions options)
       : symtab_(symtab), options_(options) {}
+
+  /// Query body; Query wraps it with the metrics/profile accounting.
+  Result<std::vector<uint64_t>> QueryImpl(std::string_view path);
 
   Status PutRegion(Symbol symbol, const Region& region);
   Result<std::vector<Region>> FetchSymbol(Symbol symbol);

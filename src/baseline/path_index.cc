@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "query/path_parser.h"
 #include "seq/key_codec.h"
 
@@ -207,7 +208,33 @@ Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
   return std::vector<uint64_t>(docs.begin(), docs.end());
 }
 
-Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path) {
+Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
+                                               obs::QueryProfile* profile) {
+  // Metric reference: docs/OBSERVABILITY.md (baseline section).
+  static obs::Counter& queries = obs::GetCounter("baseline.path.queries");
+  static obs::Counter& joins = obs::GetCounter("baseline.path.joins");
+  queries.Increment();
+  if (profile != nullptr) {
+    profile->engine = "path_index";
+    profile->query = std::string(path);
+  }
+  obs::ProfileScope scope(profile);
+  auto result = QueryImpl(path);
+  joins.Increment(last_query_joins_);
+  if (profile != nullptr) {
+    profile->joins += last_query_joins_;
+    if (result.ok()) {
+      // No verification stage: candidates are returned as-is (this baseline
+      // joins at doc-id granularity, so they can even be false positives
+      // sequence matching would reject).
+      profile->candidates += result->size();
+      profile->verified_results = profile->candidates;
+    }
+  }
+  return result;
+}
+
+Result<std::vector<uint64_t>> PathIndex::QueryImpl(std::string_view path) {
   last_query_joins_ = 0;
   // A registered refined path short-circuits to its posting list.
   for (const RefinedPath& refined : refined_) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "seq/sequence.h"
 #include "seq/symbol_table.h"
@@ -66,8 +67,10 @@ class PathIndex {
 
   /// Evaluates a path expression; returns sorted matching doc ids. A path
   /// string equal to a registered refined path is answered from its
-  /// posting list with zero joins.
-  Result<std::vector<uint64_t>> Query(std::string_view path);
+  /// posting list with zero joins. `profile` (optional) receives the
+  /// per-query cost accounting (see obs/query_profile.h).
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      obs::QueryProfile* profile = nullptr);
 
   /// Refined-path pattern evaluations performed by inserts so far (the
   /// maintenance-cost metric).
@@ -86,6 +89,9 @@ class PathIndex {
  private:
   PathIndex(const SymbolTable* symtab, PathIndexOptions options)
       : symtab_(symtab), options_(options) {}
+
+  /// Query body; Query wraps it with the metrics/profile accounting.
+  Result<std::vector<uint64_t>> QueryImpl(std::string_view path);
 
   /// Doc ids whose documents contain a path matching `pattern` (symbols
   /// with possible kStarSymbol / kDescendantSymbol).

@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vist {
+namespace obs {
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  // Smallest i with value <= 2^i, i.e. ceil(log2(value)).
+  const int i = std::bit_width(value - 1);
+  return i < kNumBuckets ? i : kNumBuckets - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(p * static_cast<double>(total) + 0.5);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= target && cumulative > 0) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // leaked: usable until process exit
+    if (getenv("VIST_DUMP_METRICS") != nullptr) {
+      atexit([] {
+        const std::string dump = Global().DumpString();
+        fputs("=== vist metrics (VIST_DUMP_METRICS) ===\n", stderr);
+        fputs(dump.c_str(), stderr);
+        fflush(stderr);
+      });
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+void MetricsRegistry::CheckNameFree(std::string_view name,
+                                    const char* kind) const {
+  // mu_ is held by the caller.
+  const bool taken = counters_.find(name) != counters_.end() ||
+                     gauges_.find(name) != gauges_.end() ||
+                     histograms_.find(name) != histograms_.end();
+  VIST_CHECK(!taken) << "metric name '" << std::string(name)
+                     << "' already registered as another kind than " << kind;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  CheckNameFree(name, "counter");
+  auto inserted = counters_.emplace(std::string(name),
+                                    std::unique_ptr<Counter>(new Counter()));
+  return *inserted.first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  CheckNameFree(name, "gauge");
+  auto inserted =
+      gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()));
+  return *inserted.first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  CheckNameFree(name, "histogram");
+  auto inserted = histograms_.emplace(
+      std::string(name), std::unique_ptr<Histogram>(new Histogram()));
+  return *inserted.first->second;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, unused] : counters_) names.push_back(name);
+  for (const auto& [name, unused] : gauges_) names.push_back(name);
+  for (const auto& [name, unused] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricsRegistry::DumpString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << "counter   " << name << " = " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge     " << name << " = " << gauge->value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << "histogram " << name << " count=" << hist->count()
+        << " sum=" << hist->sum();
+    if (hist->count() > 0) {
+      out << " p50<=" << hist->ApproxPercentile(0.5)
+          << " p95<=" << hist->ApproxPercentile(0.95)
+          << " p99<=" << hist->ApproxPercentile(0.99);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace vist

@@ -1,0 +1,181 @@
+// Process-wide observability primitives: named monotonic counters, gauges,
+// and fixed-bucket latency histograms, collected in a MetricsRegistry.
+//
+// Design goals, in order:
+//   1. Dependency-free and cheap enough for the storage hot path — a counter
+//      increment is one relaxed atomic add; no locks after registration.
+//   2. Thread-safe throughout (relaxed atomics + a registration mutex), so
+//      later parallelism work keeps the same instrumentation.
+//   3. Self-describing: every instrument has a dotted name
+//      ("layer.component.event", e.g. "storage.buffer_pool.hits"), and the
+//      registry can enumerate and dump everything it owns. The complete name
+//      reference lives in docs/OBSERVABILITY.md, and
+//      scripts/check_metrics_doc.sh fails the build if a name registered in
+//      the source is missing from that document.
+//
+// Call-site idiom (resolve once, then lock-free):
+//
+//   static obs::Counter& hits = obs::GetCounter("storage.buffer_pool.hits");
+//   hits.Increment();
+//
+// Setting VIST_DUMP_METRICS=1 in the environment makes the registry print
+// every instrument to stderr at process exit (benches, tests, and the CLI
+// all inherit this — no wiring needed).
+
+#ifndef VIST_OBS_METRICS_H_
+#define VIST_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vist {
+namespace obs {
+
+/// A monotonically increasing event count. Increment-only by construction;
+/// consumers that need rates or per-operation deltas subtract snapshots.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time level (resident frames, open iterators, ...). Unlike a
+/// Counter it can move both ways.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram with power-of-two bucket boundaries: bucket i
+/// counts samples v with v <= 2^i (bucket 0: v <= 1), and the last bucket
+/// absorbs everything larger. 32 buckets cover [0, 2^31] — for the intended
+/// unit (microseconds) that is ~36 minutes, far beyond any single operation.
+/// Recording is one relaxed atomic add; count and sum are tracked alongside
+/// the buckets.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  /// Upper bound (inclusive) of bucket `i`; the last bucket is unbounded.
+  static constexpr uint64_t BucketUpperBound(int i) { return 1ull << i; }
+
+  /// Index of the bucket that absorbs `value`.
+  static int BucketIndex(uint64_t value);
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket where the cumulative sample count first
+  /// reaches fraction `p` (0 < p <= 1) of the total; 0 when empty. An upper
+  /// estimate of the true percentile, off by at most one bucket width.
+  uint64_t ApproxPercentile(double p) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Owns every named instrument in the process. Registration (the Get*
+/// functions) takes a mutex and interns the name; the returned reference is
+/// stable for the registry's lifetime, so call sites cache it in a static.
+/// Instrument names must be unique across all three kinds.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry. First use checks VIST_DUMP_METRICS and, when
+  /// set, schedules a full dump to stderr at process exit.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the instrument named `name`. Aborts (programmer
+  /// error) if `name` already denotes an instrument of another kind.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// All registered instrument names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Human-readable dump of every instrument, one line each, grouped by
+  /// kind and sorted by name within each group. Lines look like:
+  ///   counter   storage.buffer_pool.hits = 10342
+  ///   gauge     storage.buffer_pool.resident_frames = 256
+  ///   histogram vist.query.latency_us count=8 sum=5120 p50<=512 p99<=2048
+  std::string DumpString() const;
+
+ private:
+  void CheckNameFree(std::string_view name, const char* kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthands for the common case of registering with the global registry.
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge& GetGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram& GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+/// RAII wall-clock timer: records the elapsed microseconds into `hist` on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace vist
+
+#endif  // VIST_OBS_METRICS_H_

@@ -1,0 +1,73 @@
+#include "obs/query_profile.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace vist {
+namespace obs {
+namespace {
+
+// The storage-layer counters a per-query delta is computed against. These
+// are the same instruments src/storage registers; GetCounter interns by
+// name, so both sides share one atomic.
+Counter& NodeAccessCounter() {
+  static Counter& counter = GetCounter("storage.btree.node_accesses");
+  return counter;
+}
+Counter& PoolHitCounter() {
+  static Counter& counter = GetCounter("storage.buffer_pool.hits");
+  return counter;
+}
+Counter& PoolMissCounter() {
+  static Counter& counter = GetCounter("storage.buffer_pool.misses");
+  return counter;
+}
+
+}  // namespace
+
+std::string QueryProfile::Dump() const {
+  std::ostringstream out;
+  out << "QueryProfile";
+  if (!engine.empty()) out << " [" << engine << "]";
+  if (!query.empty()) out << " " << query;
+  out << "\n";
+  out << "  wall_ms:              " << wall_ms << "\n";
+  out << "  alternatives:         " << alternatives << "\n";
+  out << "  index_nodes_accessed: " << index_nodes_accessed << "\n";
+  out << "  buffer_pool:          " << buffer_pool_hits << " hits, "
+      << buffer_pool_misses << " misses (hit_rate " << hit_rate() << ")\n";
+  out << "  range_scans:          " << range_scans << "\n";
+  out << "  entries_scanned:      " << entries_scanned << "\n";
+  out << "  nodes_matched:        " << nodes_matched << "\n";
+  out << "  docid_range_scans:    " << docid_range_scans << "\n";
+  out << "  joins:                " << joins << "\n";
+  out << "  candidates:           " << candidates << "\n";
+  out << "  verified_results:     " << verified_results
+      << (verified ? " (verified)" : " (no verification stage)") << "\n";
+  return out.str();
+}
+
+ProfileScope::ProfileScope(QueryProfile* profile) : profile_(profile) {
+  if (profile_ == nullptr) return;
+  start_node_accesses_ = NodeAccessCounter().value();
+  start_pool_hits_ = PoolHitCounter().value();
+  start_pool_misses_ = PoolMissCounter().value();
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ProfileScope::Finish() {
+  if (profile_ == nullptr || finished_) return;
+  finished_ = true;
+  profile_->index_nodes_accessed +=
+      NodeAccessCounter().value() - start_node_accesses_;
+  profile_->buffer_pool_hits += PoolHitCounter().value() - start_pool_hits_;
+  profile_->buffer_pool_misses +=
+      PoolMissCounter().value() - start_pool_misses_;
+  profile_->wall_ms += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+}
+
+}  // namespace obs
+}  // namespace vist

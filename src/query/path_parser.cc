@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "obs/metrics.h"
+
 namespace vist {
 namespace query {
 namespace {
@@ -193,6 +195,9 @@ class Parser {
 }  // namespace
 
 Result<PathExpr> ParsePath(std::string_view input) {
+  // Metric reference: docs/OBSERVABILITY.md (query section).
+  static obs::Counter& parses = obs::GetCounter("query.parses");
+  parses.Increment();
   return Parser(input).Run();
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "query/path_parser.h"
 
 namespace vist {
@@ -173,6 +174,13 @@ Result<CompiledQuery> CompileQuery(const QueryTree& tree,
             });
   alternatives.erase(std::unique(alternatives.begin(), alternatives.end()),
                      alternatives.end());
+  // Metric reference: docs/OBSERVABILITY.md (query section). The histogram
+  // tracks permutation expansion — the cost driver for branching queries.
+  static obs::Counter& compiles = obs::GetCounter("query.compiles");
+  static obs::Histogram& alternatives_hist =
+      obs::GetHistogram("query.compile.alternatives");
+  compiles.Increment();
+  alternatives_hist.Record(alternatives.size());
   return CompiledQuery{std::move(alternatives)};
 }
 

@@ -3,9 +3,30 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vist {
 namespace {
+
+// Metric reference: docs/OBSERVABILITY.md (B+ tree section).
+// `node_accesses` counts every page the tree touches (repeat visits
+// included) — the paper's "number of index nodes accessed" cost measure;
+// obs::ProfileScope turns its per-query delta into
+// QueryProfile::index_nodes_accessed.
+struct BTreeMetrics {
+  obs::Counter& node_accesses = obs::GetCounter("storage.btree.node_accesses");
+  obs::Counter& seeks = obs::GetCounter("storage.btree.seeks");
+  obs::Counter& puts = obs::GetCounter("storage.btree.puts");
+  obs::Counter& gets = obs::GetCounter("storage.btree.gets");
+  obs::Counter& deletes = obs::GetCounter("storage.btree.deletes");
+  obs::Counter& splits = obs::GetCounter("storage.btree.splits");
+  obs::Counter& leaf_merges = obs::GetCounter("storage.btree.leaf_merges");
+
+  static BTreeMetrics& Get() {
+    static BTreeMetrics metrics;
+    return metrics;
+  }
+};
 
 // Routes `key` within an internal node: returns the child to descend into
 // and sets *child_index to the cell index used (-1 for the leftmost child).
@@ -46,8 +67,10 @@ Result<std::unique_ptr<BTree>> BTree::Open(Pager* pager, BufferPool* pool,
 
 Result<PageId> BTree::FindLeaf(const Slice& key,
                                std::vector<PathEntry>* path) {
+  BTreeMetrics::Get().seeks.Increment();
   PageId current = root_;
   while (true) {
+    BTreeMetrics::Get().node_accesses.Increment();
     VIST_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
     NodePage np(ref.data(), pager_->page_size());
     if (ref.NeedsValidation()) {
@@ -71,8 +94,10 @@ Status BTree::Put(const Slice& key, const Slice& value) {
   if (cell_upper_bound > NodePage::MaxCellSize(pager_->page_size())) {
     return Status::InvalidArgument("key+value too large for page size");
   }
+  BTreeMetrics::Get().puts.Increment();
   std::vector<PathEntry> path;
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->page_size());
 
@@ -91,6 +116,8 @@ Status BTree::Put(const Slice& key, const Slice& value) {
 Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
                              const Slice& value, PageId child,
                              std::vector<PathEntry>* path) {
+  BTreeMetrics::Get().splits.Increment();
+  BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef left, pool_->Fetch(page_id));
   NodePage lp(left.data(), pager_->page_size());
   const bool leaf = lp.is_leaf();
@@ -239,7 +266,9 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
 }
 
 Result<std::string> BTree::Get(const Slice& key) {
+  BTreeMetrics::Get().gets.Increment();
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->page_size());
   int pos = np.LowerBound(key);
@@ -250,8 +279,10 @@ Result<std::string> BTree::Get(const Slice& key) {
 }
 
 Status BTree::Delete(const Slice& key) {
+  BTreeMetrics::Get().deletes.Increment();
   std::vector<PathEntry> path;
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->page_size());
   int pos = np.LowerBound(key);
@@ -268,6 +299,7 @@ Status BTree::Delete(const Slice& key) {
 }
 
 Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
+  BTreeMetrics::Get().leaf_merges.Increment();
   // Unlink from the sibling chain.
   {
     VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
@@ -335,6 +367,7 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
 // Iterator
 
 void BTree::Iterator::LoadLeaf(PageId id) {
+  BTreeMetrics::Get().node_accesses.Increment();
   auto ref = tree_->pool_->Fetch(id);
   if (!ref.ok()) {
     status_ = ref.status();
@@ -375,6 +408,7 @@ void BTree::Iterator::Seek(const Slice& target) {
 }
 
 void BTree::Iterator::SeekToFirst() {
+  BTreeMetrics::Get().seeks.Increment();
   status_ = Status::OK();
   valid_ = false;
   PageId current = tree_->root_;
@@ -391,6 +425,7 @@ void BTree::Iterator::SeekToFirst() {
 }
 
 void BTree::Iterator::SeekToLast() {
+  BTreeMetrics::Get().seeks.Increment();
   status_ = Status::OK();
   valid_ = false;
   PageId current = tree_->root_;

@@ -3,8 +3,28 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vist {
+namespace {
+
+// Metric reference: docs/OBSERVABILITY.md (buffer pool section).
+struct PoolMetrics {
+  obs::Counter& hits = obs::GetCounter("storage.buffer_pool.hits");
+  obs::Counter& misses = obs::GetCounter("storage.buffer_pool.misses");
+  obs::Counter& evictions = obs::GetCounter("storage.buffer_pool.evictions");
+  obs::Counter& dirty_writebacks =
+      obs::GetCounter("storage.buffer_pool.dirty_writebacks");
+  obs::Gauge& resident_frames =
+      obs::GetGauge("storage.buffer_pool.resident_frames");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 using internal_buffer::Frame;
 
@@ -42,6 +62,8 @@ BufferPool::~BufferPool() {
       VIST_LOG(Error) << "page " << id << " still pinned at pool destruction";
     }
   }
+  PoolMetrics::Get().resident_frames.Add(
+      -static_cast<int64_t>(frames_.size()));
 }
 
 void BufferPool::Unpin(Frame* frame) {
@@ -62,9 +84,12 @@ Status BufferPool::EvictOne() {
   lru_.pop_front();
   victim->in_lru = false;
   if (victim->dirty) {
+    PoolMetrics::Get().dirty_writebacks.Increment();
     VIST_RETURN_IF_ERROR(pager_->WritePage(victim->id, victim->data.get()));
   }
   frames_.erase(victim->id);
+  PoolMetrics::Get().evictions.Increment();
+  PoolMetrics::Get().resident_frames.Add(-1);
   return Status::OK();
 }
 
@@ -72,6 +97,7 @@ Result<Frame*> BufferPool::GetFrame(PageId id, bool load) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
+    PoolMetrics::Get().hits.Increment();
     Frame* frame = it->second.get();
     if (frame->in_lru) {
       lru_.erase(frame->lru_pos);
@@ -81,6 +107,7 @@ Result<Frame*> BufferPool::GetFrame(PageId id, bool load) {
     return frame;
   }
   ++misses_;
+  PoolMetrics::Get().misses.Increment();
   while (frames_.size() >= capacity_) {
     VIST_RETURN_IF_ERROR(EvictOne());
   }
@@ -97,6 +124,7 @@ Result<Frame*> BufferPool::GetFrame(PageId id, bool load) {
   frame->pin_count = 1;
   Frame* raw = frame.get();
   frames_.emplace(id, std::move(frame));
+  PoolMetrics::Get().resident_frames.Add(1);
   return raw;
 }
 
@@ -121,11 +149,14 @@ Status BufferPool::Free(PageId id) {
     }
     if (frame->in_lru) lru_.erase(frame->lru_pos);
     frames_.erase(it);
+    PoolMetrics::Get().resident_frames.Add(-1);
   }
   return pager_->FreePage(id);
 }
 
 void BufferPool::SimulateCrashForTesting() {
+  PoolMetrics::Get().resident_frames.Add(
+      -static_cast<int64_t>(frames_.size()));
   lru_.clear();
   frames_.clear();
 }
@@ -133,6 +164,7 @@ void BufferPool::SimulateCrashForTesting() {
 Status BufferPool::FlushAll() {
   for (auto& [id, frame] : frames_) {
     if (frame->dirty) {
+      PoolMetrics::Get().dirty_writebacks.Increment();
       VIST_RETURN_IF_ERROR(pager_->WritePage(id, frame->data.get()));
       frame->dirty = false;
     }

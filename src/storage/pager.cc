@@ -11,9 +11,28 @@
 #include "common/coding.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vist {
 namespace {
+
+// Metric reference: docs/OBSERVABILITY.md (pager section).
+struct PagerMetrics {
+  obs::Counter& page_reads = obs::GetCounter("storage.pager.page_reads");
+  obs::Counter& page_writes = obs::GetCounter("storage.pager.page_writes");
+  obs::Counter& pages_allocated =
+      obs::GetCounter("storage.pager.pages_allocated");
+  obs::Counter& pages_freed = obs::GetCounter("storage.pager.pages_freed");
+  obs::Counter& freelist_reuses =
+      obs::GetCounter("storage.pager.freelist_reuses");
+  obs::Counter& journal_pages = obs::GetCounter("storage.pager.journal_pages");
+  obs::Counter& syncs = obs::GetCounter("storage.pager.syncs");
+
+  static PagerMetrics& Get() {
+    static PagerMetrics metrics;
+    return metrics;
+  }
+};
 
 constexpr uint64_t kMagic = 0x5649535450475231ULL;        // "VISTPGR1"
 constexpr uint64_t kJournalMagic = 0x564953544a4e4c31ULL;  // "VISTJNL1"
@@ -229,6 +248,7 @@ Status Pager::JournalPage(PageId id) {
   VIST_DCHECK(in_batch_);
   if (id >= batch_start_page_count_) return Status::OK();  // new this batch
   if (!journaled_.insert(id).second) return Status::OK();  // already logged
+  PagerMetrics::Get().journal_pages.Increment();
   std::vector<char> entry(8 + page_size_ + 8);
   EncodeFixed64LE(entry.data(), id);
   ssize_t n = pread(fd_, entry.data() + 8, page_size_,
@@ -273,6 +293,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("ReadPage: page id out of range");
   }
+  PagerMetrics::Get().page_reads.Increment();
   ssize_t n = pread(fd_, buf, page_size_,
                     static_cast<off_t>(id) * page_size_);
   if (n != static_cast<ssize_t>(page_size_)) {
@@ -285,6 +306,7 @@ Status Pager::WritePage(PageId id, const char* buf) {
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("WritePage: page id out of range");
   }
+  PagerMetrics::Get().page_writes.Increment();
   VIST_RETURN_IF_ERROR(EnsureBatch());
   VIST_RETURN_IF_ERROR(JournalPage(id));
   ssize_t n = pwrite(fd_, buf, page_size_,
@@ -298,7 +320,9 @@ Status Pager::WritePage(PageId id, const char* buf) {
 Result<PageId> Pager::AllocatePage() {
   VIST_RETURN_IF_ERROR(EnsureBatch());
   header_dirty_ = true;
+  PagerMetrics::Get().pages_allocated.Increment();
   if (freelist_head_ != kInvalidPageId) {
+    PagerMetrics::Get().freelist_reuses.Increment();
     PageId id = freelist_head_;
     char next_buf[8];
     ssize_t n = pread(fd_, next_buf, 8, static_cast<off_t>(id) * page_size_);
@@ -321,6 +345,7 @@ Status Pager::FreePage(PageId id) {
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
+  PagerMetrics::Get().pages_freed.Increment();
   VIST_RETURN_IF_ERROR(EnsureBatch());
   VIST_RETURN_IF_ERROR(JournalPage(id));
   char next_buf[8];
@@ -347,6 +372,7 @@ void Pager::SetMetaSlot(int slot, PageId id) {
 }
 
 Status Pager::Sync() {
+  PagerMetrics::Get().syncs.Increment();
   if (header_dirty_) VIST_RETURN_IF_ERROR(WriteHeader());
   if (fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync", path_));
   if (in_batch_) {

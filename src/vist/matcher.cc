@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "seq/key_codec.h"
 
 namespace vist {
@@ -10,6 +11,22 @@ namespace {
 
 using query::QuerySequence;
 using query::QuerySequenceElement;
+
+// Process-wide totals mirroring the per-query QueryProfile fields. Metric
+// reference: docs/OBSERVABILITY.md (matcher section).
+struct MatcherMetrics {
+  obs::Counter& range_scans = obs::GetCounter("vist.matcher.range_scans");
+  obs::Counter& entries_scanned =
+      obs::GetCounter("vist.matcher.entries_scanned");
+  obs::Counter& nodes_matched = obs::GetCounter("vist.matcher.nodes_matched");
+  obs::Counter& docid_range_scans =
+      obs::GetCounter("vist.matcher.docid_range_scans");
+
+  static MatcherMetrics& Get() {
+    static MatcherMetrics metrics;
+    return metrics;
+  }
+};
 
 // A query element's concrete binding during the search.
 struct BoundMatch {
@@ -21,10 +38,10 @@ struct BoundMatch {
 class Searcher {
  public:
   Searcher(const MatchContext& context, const QuerySequence& query,
-           MatchCounters* counters, std::set<uint64_t>* results)
+           obs::QueryProfile* profile, std::set<uint64_t>* results)
       : context_(context),
         query_(query),
-        counters_(counters),
+        profile_(profile),
         results_(results),
         bound_(query.size()) {}
 
@@ -35,8 +52,10 @@ class Searcher {
   }
 
  private:
-  void Count(uint64_t MatchCounters::* field, uint64_t delta = 1) {
-    if (counters_ != nullptr) counters_->*field += delta;
+  void Count(uint64_t obs::QueryProfile::* field, obs::Counter& total,
+             uint64_t delta = 1) {
+    total.Increment(delta);
+    if (profile_ != nullptr) profile_->*field += delta;
   }
 
   // Matches query elements qi.. inside `enclosing`, the scope of the node
@@ -91,6 +110,7 @@ class Searcher {
   void SearchDepth(size_t qi, const QuerySequenceElement& elem,
                    const std::vector<Symbol>& required, size_t depth,
                    const Scope& enclosing) {
+    Count(&obs::QueryProfile::range_scans, MatcherMetrics::Get().range_scans);
     const std::string partial =
         EncodeDKeyPartial(elem.symbol, depth, required);
     const std::string partial_end = PrefixRangeEnd(partial);
@@ -114,7 +134,8 @@ class Searcher {
       // S-Ancestorship range query within this D-key group.
       it->Seek(EncodeEntryKey(dkey, parent_lo, 0));
       while (it->Valid() && it->key().StartsWith(dkey)) {
-        Count(&MatchCounters::entries_scanned);
+        Count(&obs::QueryProfile::entries_scanned,
+              MatcherMetrics::Get().entries_scanned);
         Slice seen_dkey;
         if (!DecodeEntryKey(it->key(), &seen_dkey, &parent_n, &n) ||
             seen_dkey.ToString() != dkey) {
@@ -128,7 +149,8 @@ class Searcher {
         }
         record.n = n;
         record.parent_n = parent_n;
-        Count(&MatchCounters::nodes_matched);
+        Count(&obs::QueryProfile::nodes_matched,
+              MatcherMetrics::Get().nodes_matched);
         BoundMatch& slot = bound_[qi];
         slot.symbol = elem.symbol;
         if (!DecodeDKey(dkey, &slot.symbol, &slot.prefix)) {
@@ -155,7 +177,8 @@ class Searcher {
   // Final step of Algorithm 2: all documents attached at or under the last
   // matched node, i.e. DocId keys with n ∈ [node.n, node.n + size).
   void CollectDocIds(const NodeRecord& node) {
-    Count(&MatchCounters::docid_range_scans);
+    Count(&obs::QueryProfile::docid_range_scans,
+          MatcherMetrics::Get().docid_range_scans);
     auto it = context_.docid_tree->NewIterator();
     const std::string lo = EncodeDocIdKey(node.n, 0);
     const uint64_t hi = node.n + node.size;
@@ -173,7 +196,7 @@ class Searcher {
 
   const MatchContext& context_;
   const QuerySequence& query_;
-  MatchCounters* counters_;
+  obs::QueryProfile* profile_;
   std::set<uint64_t>* results_;
   std::vector<BoundMatch> bound_;
   Status status_;
@@ -183,13 +206,23 @@ class Searcher {
 
 Result<std::vector<uint64_t>> MatchCompiledQuery(
     const MatchContext& context, const query::CompiledQuery& compiled,
-    MatchCounters* counters) {
+    obs::QueryProfile* profile) {
   VIST_CHECK(context.entry_tree != nullptr && context.docid_tree != nullptr);
+  obs::ProfileScope scope(profile);
+  if (profile != nullptr) {
+    profile->alternatives += compiled.alternatives.size();
+  }
   std::set<uint64_t> results;
   for (const QuerySequence& alt : compiled.alternatives) {
     if (alt.empty()) continue;
-    Searcher searcher(context, alt, counters, &results);
+    Searcher searcher(context, alt, profile, &results);
     VIST_RETURN_IF_ERROR(searcher.Run());
+  }
+  if (profile != nullptr) {
+    // A later verification stage (VistIndex::Query with verify) narrows
+    // verified_results; until then the two are equal by convention.
+    profile->candidates += results.size();
+    profile->verified_results = profile->candidates;
   }
   return std::vector<uint64_t>(results.begin(), results.end());
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "storage/btree.h"
 #include "vist/scope.h"
@@ -38,17 +39,17 @@ struct MatchContext {
   bool collect_doc_ids = true;
 };
 
-struct MatchCounters {
-  uint64_t entries_scanned = 0;
-  uint64_t nodes_matched = 0;
-  uint64_t docid_range_scans = 0;
-};
-
 /// Returns the sorted doc ids matching any alternative of the compiled
-/// query. `counters` (optional) reports work done, for the benchmarks.
+/// query. `profile` (optional) receives the per-query cost accounting —
+/// matcher work (range scans, entries scanned, nodes matched, DocId range
+/// queries), the storage deltas (index-node accesses, buffer-pool
+/// hits/misses), candidate counts, and matching wall time. See
+/// obs/query_profile.h; `candidates`/`verified_results` are set to the
+/// result-set size (a later verification stage may lower
+/// `verified_results`).
 Result<std::vector<uint64_t>> MatchCompiledQuery(
     const MatchContext& context, const query::CompiledQuery& compiled,
-    MatchCounters* counters = nullptr);
+    obs::QueryProfile* profile = nullptr);
 
 }  // namespace vist
 

@@ -88,17 +88,22 @@ Result<std::unique_ptr<RistIndex>> RistIndex::Build(
 }
 
 Result<std::vector<uint64_t>> RistIndex::QueryCompiled(
-    const query::CompiledQuery& compiled, MatchCounters* counters) {
+    const query::CompiledQuery& compiled, obs::QueryProfile* profile) {
   MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth_};
-  return MatchCompiledQuery(context, compiled, counters);
+  return MatchCompiledQuery(context, compiled, profile);
 }
 
-Result<std::vector<uint64_t>> RistIndex::Query(std::string_view path) {
+Result<std::vector<uint64_t>> RistIndex::Query(std::string_view path,
+                                               obs::QueryProfile* profile) {
+  if (profile != nullptr) {
+    profile->engine = "rist";
+    profile->query = std::string(path);
+  }
   query::CompileOptions compile_options;
   compile_options.max_alternatives = options_.max_alternatives;
   VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
                         query::CompilePath(path, *symtab_, compile_options));
-  return QueryCompiled(compiled);
+  return QueryCompiled(compiled, profile);
 }
 
 }  // namespace vist

@@ -51,10 +51,14 @@ class RistIndex {
   RistIndex& operator=(const RistIndex&) = delete;
 
   /// Evaluates a path expression; returns sorted matching doc ids.
-  Result<std::vector<uint64_t>> Query(std::string_view path);
+  /// `profile` (optional) receives the per-query cost accounting (see
+  /// obs/query_profile.h).
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      obs::QueryProfile* profile = nullptr);
 
   Result<std::vector<uint64_t>> QueryCompiled(
-      const query::CompiledQuery& compiled, MatchCounters* counters = nullptr);
+      const query::CompiledQuery& compiled,
+      obs::QueryProfile* profile = nullptr);
 
   /// Page-file size in bytes (index-size experiments).
   uint64_t size_bytes() const {

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vist {
 namespace {
@@ -75,6 +76,10 @@ bool MatchesAt(const QueryNode& qnode, const xml::Node& xnode) {
 }  // namespace
 
 bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root) {
+  // Metric reference: docs/OBSERVABILITY.md (vist section).
+  static obs::Counter& invocations =
+      obs::GetCounter("vist.verifier.invocations");
+  invocations.Increment();
   VIST_CHECK(tree.root != nullptr);
   const QueryNode& qroot = *tree.root;
   if (qroot.kind == QueryNode::Kind::kDescendant) {

@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "query/path_parser.h"
 #include "seq/key_codec.h"
 #include "vist/verifier.h"
@@ -82,6 +83,25 @@ Status LoadManifest(const std::string& dir, VistOptions* options) {
   options->sequence.include_attribute_values = attrs != 0;
   return Status::OK();
 }
+
+// Metric reference: docs/OBSERVABILITY.md (vist section).
+struct VistMetrics {
+  obs::Counter& insert_sequences = obs::GetCounter("vist.insert.sequences");
+  obs::Counter& underflow_runs = obs::GetCounter("vist.insert.underflow_runs");
+  obs::Counter& delete_sequences = obs::GetCounter("vist.delete.sequences");
+  obs::Counter& bulk_load_sequences =
+      obs::GetCounter("vist.bulk_load.sequences");
+  obs::Counter& queries = obs::GetCounter("vist.query.count");
+  obs::Histogram& insert_latency_us =
+      obs::GetHistogram("vist.insert.latency_us");
+  obs::Histogram& query_latency_us =
+      obs::GetHistogram("vist.query.latency_us");
+
+  static VistMetrics& Get() {
+    static VistMetrics metrics;
+    return metrics;
+  }
+};
 
 // Document-store keys: doc_id (8B BE) ‖ chunk index (4B BE).
 std::string DocChunkKey(uint64_t doc_id, uint32_t chunk) {
@@ -241,6 +261,8 @@ Status VistIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   if (sequence.empty()) {
     return Status::InvalidArgument("cannot index an empty sequence");
   }
+  VistMetrics::Get().insert_sequences.Increment();
+  obs::ScopedTimer timer(VistMetrics::Get().insert_latency_us);
   std::vector<PathEntry> path;
   path.emplace_back();
   path[0].key = root_key_;
@@ -315,6 +337,7 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
     ancestor.record.seq_cursor = run_lo;
     ancestor.dirty = true;
     set_underflow_runs(underflow_runs() + 1);
+    VistMetrics::Get().underflow_runs.Increment();
 
     // The doc's path now diverges at the ancestor: the abandoned tail
     // entries were never written (all writes are deferred), so dropping
@@ -373,6 +396,7 @@ Status VistIndex::BulkLoadSequences(
     if (sequence.empty()) {
       return Status::InvalidArgument("cannot index an empty sequence");
     }
+    VistMetrics::Get().bulk_load_sequences.Increment();
     std::vector<StagedEntry> path;
     path.push_back({"", root, kInvalidSymbol});
     bool done = false;
@@ -418,6 +442,7 @@ Status VistIndex::BulkLoadSequences(
         const uint64_t run_lo = ancestor.seq_cursor - run_len;
         ancestor.seq_cursor = run_lo;
         ++underflows;
+        VistMetrics::Get().underflow_runs.Increment();
         const uint64_t anchor_n = ancestor.n;
         path.resize(j + 1);
         for (uint64_t t = 0; t < run_len; ++t) {
@@ -552,6 +577,7 @@ Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
   if (sequence.empty()) {
     return Status::InvalidArgument("cannot delete an empty sequence");
   }
+  VistMetrics::Get().delete_sequences.Increment();
   std::vector<PathEntry> path;
   path.emplace_back();
   path[0].key = root_key_;
@@ -574,15 +600,22 @@ Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
 }
 
 Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
-    const query::CompiledQuery& compiled, MatchCounters* counters,
+    const query::CompiledQuery& compiled, obs::QueryProfile* profile,
     bool collect_doc_ids) {
   MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth(),
                        collect_doc_ids};
-  return MatchCompiledQuery(context, compiled, counters);
+  return MatchCompiledQuery(context, compiled, profile);
 }
 
 Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
                                                const QueryOptions& options) {
+  VistMetrics::Get().queries.Increment();
+  obs::ScopedTimer timer(VistMetrics::Get().query_latency_us);
+  obs::QueryProfile* profile = options.profile;
+  if (profile != nullptr) {
+    profile->engine = "vist";
+    profile->query = std::string(path);
+  }
   VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
   VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
   query::CompileOptions compile_options;
@@ -590,18 +623,26 @@ Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
   VIST_ASSIGN_OR_RETURN(
       query::CompiledQuery compiled,
       query::CompileQuery(tree, symtab_, compile_options));
-  VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids, QueryCompiled(compiled));
+  VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
+                        QueryCompiled(compiled, profile));
   if (!options.verify) return ids;
 
   if (!options_.store_documents) {
     return Status::InvalidArgument(
         "verified queries require store_documents");
   }
+  // Verification work (document fetches hit the doc-store B+ tree) is
+  // charged to the same profile on top of the matching deltas.
+  obs::ProfileScope verify_scope(profile);
   std::vector<uint64_t> verified;
   for (uint64_t doc_id : ids) {
     VIST_ASSIGN_OR_RETURN(std::string text, GetDocument(doc_id));
     VIST_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
     if (VerifyEmbedding(tree, *doc.root())) verified.push_back(doc_id);
+  }
+  if (profile != nullptr) {
+    profile->verified = true;
+    profile->verified_results = verified.size();
   }
   return verified;
 }

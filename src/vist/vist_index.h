@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "seq/sequence.h"
 #include "seq/symbol_table.h"
@@ -72,6 +73,11 @@ struct QueryOptions {
   bool verify = false;
   /// Cap on branching-query permutation expansion.
   size_t max_alternatives = 64;
+  /// Optional per-query EXPLAIN/profile sink (see obs/query_profile.h):
+  /// receives index-node accesses, buffer-pool hits/misses, range-scan
+  /// extents, candidate vs. verified result counts, and wall time. The
+  /// caller owns it; fields accumulate, so reuse across queries sums.
+  obs::QueryProfile* profile = nullptr;
 };
 
 struct IndexStats {
@@ -127,8 +133,8 @@ class VistIndex {
   /// matching work runs but DocId output is skipped (Figure 10's
   /// measurement mode) and the result is empty.
   Result<std::vector<uint64_t>> QueryCompiled(
-      const query::CompiledQuery& compiled, MatchCounters* counters = nullptr,
-      bool collect_doc_ids = true);
+      const query::CompiledQuery& compiled,
+      obs::QueryProfile* profile = nullptr, bool collect_doc_ids = true);
 
   /// Returns the stored XML text of a document (store_documents only).
   Result<std::string> GetDocument(uint64_t doc_id);

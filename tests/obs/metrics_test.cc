@@ -1,0 +1,176 @@
+// MetricsRegistry unit tests: interning, counter monotonicity, gauge
+// levels, histogram bucket boundaries, concurrency, and the dump format.
+//
+// The registry is process-global, so tests use names namespaced under
+// "test." that nothing else registers, and assert on deltas rather than
+// absolute values where other suites could conceivably interfere.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/query_profile.h"
+
+namespace vist {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, InterningReturnsSameInstrument) {
+  Counter& a = GetCounter("test.interning.counter");
+  Counter& b = GetCounter("test.interning.counter");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = GetHistogram("test.interning.hist");
+  Histogram& h2 = GetHistogram("test.interning.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, CounterIsMonotonic) {
+  Counter& counter = GetCounter("test.monotonic.counter");
+  uint64_t last = counter.value();
+  for (int i = 0; i < 100; ++i) {
+    counter.Increment();
+    EXPECT_GT(counter.value(), last);
+    last = counter.value();
+  }
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), last + 41);
+}
+
+TEST(MetricsRegistryTest, GaugeSetsAndAdds) {
+  Gauge& gauge = GetGauge("test.gauge");
+  gauge.Set(10);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(5);
+  EXPECT_EQ(gauge.value(), 12);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
+  // Bucket i holds values in (2^(i-1), 2^i]; bucket 0 holds {0, 1}.
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(4), 16u);
+
+  Histogram& hist = GetHistogram("test.hist.boundaries");
+  hist.Record(0);
+  hist.Record(1);     // both land in bucket 0
+  hist.Record(2);     // bucket 1 (just over 2^0)
+  hist.Record(16);    // bucket 4 (exactly 2^4: inclusive upper bound)
+  hist.Record(17);    // bucket 5 (just over 2^4)
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(4), 1u);
+  EXPECT_EQ(hist.bucket_count(5), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramSaturatesLastBucket) {
+  Histogram& hist = GetHistogram("test.hist.saturate");
+  hist.Record(~0ull);  // larger than any power-of-two upper bound
+  EXPECT_EQ(hist.bucket_count(Histogram::kNumBuckets - 1), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramApproxPercentile) {
+  Histogram& hist = GetHistogram("test.hist.percentile");
+  for (int i = 0; i < 99; ++i) hist.Record(3);   // bucket 2, bound 4
+  hist.Record(1000);                             // bucket 10, bound 1024
+  EXPECT_EQ(hist.ApproxPercentile(0.50), 4u);
+  EXPECT_EQ(hist.ApproxPercentile(0.999), 1024u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  Counter& counter = GetCounter("test.concurrent.counter");
+  Histogram& hist = GetHistogram("test.concurrent.hist");
+  const uint64_t before = counter.value();
+  const uint64_t hist_before = hist.count();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        hist.Record(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value() - before, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(hist.count() - hist_before, uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, NamesEnumeratesRegisteredInstruments) {
+  GetCounter("test.names.counter");
+  GetGauge("test.names.gauge");
+  GetHistogram("test.names.hist");
+  std::vector<std::string> names = MetricsRegistry::Global().Names();
+  auto has = [&](const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("test.names.counter"));
+  EXPECT_TRUE(has("test.names.gauge"));
+  EXPECT_TRUE(has("test.names.hist"));
+}
+
+TEST(MetricsRegistryTest, DumpStringMentionsEveryKind) {
+  GetCounter("test.dump.counter").Increment(7);
+  GetGauge("test.dump.gauge").Set(-2);
+  GetHistogram("test.dump.hist").Record(5);
+  const std::string dump = MetricsRegistry::Global().DumpString();
+  EXPECT_NE(dump.find("test.dump.counter"), std::string::npos);
+  EXPECT_NE(dump.find("test.dump.gauge"), std::string::npos);
+  EXPECT_NE(dump.find("test.dump.hist"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Histogram& hist = GetHistogram("test.scoped_timer.hist");
+  const uint64_t before = hist.count();
+  { ScopedTimer timer(hist); }
+  EXPECT_EQ(hist.count(), before + 1);
+}
+
+TEST(QueryProfileTest, HitRateConventions) {
+  QueryProfile profile;
+  EXPECT_DOUBLE_EQ(profile.hit_rate(), 1.0);  // no traffic == all cached
+  profile.buffer_pool_hits = 3;
+  profile.buffer_pool_misses = 1;
+  EXPECT_DOUBLE_EQ(profile.hit_rate(), 0.75);
+}
+
+TEST(QueryProfileTest, ProfileScopeCapturesDeltas) {
+  Counter& nodes = GetCounter("storage.btree.node_accesses");
+  QueryProfile profile;
+  {
+    ProfileScope scope(&profile);
+    nodes.Increment(5);
+  }
+  EXPECT_EQ(profile.index_nodes_accessed, 5u);
+  EXPECT_GE(profile.wall_ms, 0.0);
+  // Scopes accumulate into the same profile.
+  {
+    ProfileScope scope(&profile);
+    nodes.Increment(2);
+  }
+  EXPECT_EQ(profile.index_nodes_accessed, 7u);
+}
+
+TEST(QueryProfileTest, DumpContainsTheCostFields) {
+  QueryProfile profile;
+  profile.engine = "vist";
+  profile.query = "/a/b";
+  profile.index_nodes_accessed = 12;
+  profile.candidates = 3;
+  profile.verified_results = 3;
+  const std::string dump = profile.Dump();
+  EXPECT_NE(dump.find("[vist] /a/b"), std::string::npos);
+  EXPECT_NE(dump.find("index_nodes_accessed: 12"), std::string::npos);
+  EXPECT_NE(dump.find("no verification stage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vist

@@ -43,22 +43,26 @@ class MatcherTest : public ::testing::Test {
   std::unique_ptr<VistIndex> index_;
 };
 
-TEST_F(MatcherTest, CountersReportWork) {
+TEST_F(MatcherTest, ProfileReportsWork) {
   auto compiled = query::CompilePath("/P/S/L", *index_->symbols());
   ASSERT_TRUE(compiled.ok());
-  MatchCounters counters;
-  auto ids = index_->QueryCompiled(*compiled, &counters);
+  obs::QueryProfile profile;
+  auto ids = index_->QueryCompiled(*compiled, &profile);
   ASSERT_TRUE(ids.ok());
   EXPECT_EQ(ids->size(), 50u);
-  EXPECT_GT(counters.entries_scanned, 0u);
-  EXPECT_GT(counters.nodes_matched, 0u);
-  EXPECT_GT(counters.docid_range_scans, 0u);
+  EXPECT_GT(profile.entries_scanned, 0u);
+  EXPECT_GT(profile.nodes_matched, 0u);
+  EXPECT_GT(profile.docid_range_scans, 0u);
+  EXPECT_GT(profile.index_nodes_accessed, 0u);
+  EXPECT_EQ(profile.candidates, 50u);
+  EXPECT_EQ(profile.verified_results, 50u);  // unverified: equal by convention
+  EXPECT_FALSE(profile.verified);
 }
 
 TEST_F(MatcherTest, SkippingDocIdCollectionStillMatches) {
   auto compiled = query::CompilePath("/P/S/L", *index_->symbols());
   ASSERT_TRUE(compiled.ok());
-  MatchCounters with, without;
+  obs::QueryProfile with, without;
   auto full = index_->QueryCompiled(*compiled, &with);
   auto matched_only = index_->QueryCompiled(*compiled, &without,
                                             /*collect_doc_ids=*/false);
@@ -75,8 +79,8 @@ TEST_F(MatcherTest, WildcardDepthExpansionBounded) {
   // the index's max depth (2 here), not by kMaxPrefixDepth.
   auto compiled = query::CompilePath("//L", *index_->symbols());
   ASSERT_TRUE(compiled.ok());
-  MatchCounters counters;
-  auto ids = index_->QueryCompiled(*compiled, &counters);
+  obs::QueryProfile profile;
+  auto ids = index_->QueryCompiled(*compiled, &profile);
   ASSERT_TRUE(ids.ok());
   EXPECT_EQ(ids->size(), 50u);
 }
@@ -108,6 +112,48 @@ TEST_F(MatcherTest, CorruptedIndexSurfacesCorruptionStatus) {
           << ids.status().ToString();
     }
   }
+}
+
+TEST(MatcherProfileTest, ExactIndexNodeAccessCounts) {
+  // A minimal deterministic workload: one document, one query, both trees
+  // a single page deep — so the page-access count of Algorithm 2 is an
+  // exact, stable number rather than a lower bound. Guards the
+  // ProfileScope delta accounting: any change here means the per-query
+  // index_nodes_accessed column in the benchmarks shifted too.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vist_matcher_profile_" + std::to_string(getpid()));
+  std::filesystem::remove_all(dir);
+  auto index = VistIndex::Create(dir.string(), VistOptions());
+  ASSERT_TRUE(index.ok());
+  auto doc = xml::Parse("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE((*index)->InsertDocument(*doc->root(), 1).ok());
+
+  auto compiled = query::CompilePath("/a/b", *(*index)->symbols());
+  ASSERT_TRUE(compiled.ok());
+  obs::QueryProfile first, second;
+  auto ids = (*index)->QueryCompiled(*compiled, &first);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 1u);
+
+  // Over single-page trees every iterator seek costs exactly 2 page
+  // accesses (FindLeaf + LoadLeaf). Algorithm 2 performs 7 seeks here:
+  // for each of 'a' and 'b', one seek to the D-key range, one to its
+  // S-Ancestor group, and one jump past the group that ends the scan
+  // (3 x 2 = 6), plus one DocId range seek for the matched 'b' — so
+  // 7 seeks x 2 pages = 14 accesses.
+  EXPECT_EQ(first.index_nodes_accessed, 14u);
+  EXPECT_EQ(first.range_scans, 2u);
+  EXPECT_EQ(first.nodes_matched, 2u);
+  EXPECT_EQ(first.docid_range_scans, 1u);
+  EXPECT_EQ(first.candidates, 1u);
+
+  // Deterministic: a repeat run reports identical numbers.
+  auto again = (*index)->QueryCompiled(*compiled, &second);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(second.index_nodes_accessed, first.index_nodes_accessed);
+  index->reset();
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(MatcherTest, EmptyAlternativesMatchNothing) {
