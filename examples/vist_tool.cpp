@@ -6,14 +6,19 @@
 //   vist_tool query  <index-dir> "<path expression>" [--verify] [--explain]
 //   vist_tool get    <index-dir> <doc-id>
 //   vist_tool stats  <index-dir>
+//   vist_tool check  <index-dir>            (semantic ViST invariants)
+//   vist_tool fsck   <index-dir>            (storage-level integrity)
 //
 // Document ids are assigned sequentially from the current document count.
+// The tool opens indexes at the kPowerLoss durability level, so interrupted
+// runs (even by power loss) never leave a corrupt index behind.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "vist/fsck.h"
 #include "vist/schema_stats.h"
 #include "vist/splitter.h"
 #include "vist/vist_index.h"
@@ -33,7 +38,8 @@ int Usage() {
           "       vist_tool query <dir> '<path>' [--verify] [--explain]\n"
           "       vist_tool get <dir> <doc-id>\n"
           "       vist_tool stats <dir>\n"
-          "       vist_tool check <dir>\n");
+          "       vist_tool check <dir>\n"
+          "       vist_tool fsck <dir>\n");
   return 2;
 }
 
@@ -43,12 +49,15 @@ int Fail(const Status& status) {
 }
 
 vist::Result<std::unique_ptr<VistIndex>> OpenIndex(const std::string& dir) {
-  return VistIndex::Open(dir, VistOptions());
+  VistOptions options;
+  options.durability = vist::DurabilityLevel::kPowerLoss;
+  return VistIndex::Open(dir, options);
 }
 
 int CmdCreate(int argc, char** argv) {
   if (argc < 1) return Usage();
   VistOptions options;
+  options.durability = vist::DurabilityLevel::kPowerLoss;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--store-documents") == 0) {
       options.store_documents = true;
@@ -155,6 +164,25 @@ int CmdCheck(int argc, char** argv) {
   return 1;
 }
 
+int CmdFsck(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto report = vist::RunFsck(argv[0]);
+  if (!report.ok()) return Fail(report.status());
+  fputs(report->Summary().c_str(), stdout);
+  if (!report->ok()) return 1;
+  // Storage is clean; run the semantic (virtual-suffix-tree) checks too so
+  // one command answers "is this index trustworthy".
+  auto index = OpenIndex(argv[0]);
+  if (!index.ok()) return Fail(index.status());
+  auto semantic = (*index)->CheckIntegrity();
+  if (!semantic.ok()) return Fail(semantic.status());
+  for (const std::string& problem : semantic->problems) {
+    printf("problem: %s\n", problem.c_str());
+  }
+  printf("fsck.semantic: %s\n", semantic->ok() ? "clean" : "damaged");
+  return semantic->ok() ? 0 : 1;
+}
+
 int CmdStats(int argc, char** argv) {
   if (argc < 1) return Usage();
   auto index = OpenIndex(argv[0]);
@@ -183,5 +211,6 @@ int main(int argc, char** argv) {
   if (command == "get") return CmdGet(argc - 2, argv + 2);
   if (command == "stats") return CmdStats(argc - 2, argv + 2);
   if (command == "check") return CmdCheck(argc - 2, argv + 2);
+  if (command == "fsck") return CmdFsck(argc - 2, argv + 2);
   return Usage();
 }

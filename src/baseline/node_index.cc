@@ -44,6 +44,8 @@ Result<std::unique_ptr<NodeIndex>> NodeIndex::Create(
   std::unique_ptr<NodeIndex> index(new NodeIndex(symtab, options));
   PagerOptions pager_options;
   pager_options.page_size = options.page_size;
+  pager_options.durability = options.durability;
+  pager_options.env = options.env;
   VIST_ASSIGN_OR_RETURN(index->pager_,
                         Pager::Open(dir + "/nodes.db", pager_options));
   const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);

@@ -31,6 +31,8 @@ namespace vist {
 struct NodeIndexOptions {
   uint32_t page_size = 4096;
   size_t buffer_pool_pages = 1024;
+  DurabilityLevel durability = DurabilityLevel::kProcessCrash;
+  Env* env = nullptr;  // null: Env::Default(); must outlive the index
 };
 
 class NodeIndex {

@@ -120,6 +120,8 @@ Result<std::unique_ptr<PathIndex>> PathIndex::Create(
   std::unique_ptr<PathIndex> index(new PathIndex(symtab, options));
   PagerOptions pager_options;
   pager_options.page_size = options.page_size;
+  pager_options.durability = options.durability;
+  pager_options.env = options.env;
   VIST_ASSIGN_OR_RETURN(index->pager_,
                         Pager::Open(dir + "/paths.db", pager_options));
   const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);

@@ -42,6 +42,8 @@ struct PathIndexOptions {
   uint32_t page_size = 4096;
   size_t buffer_pool_pages = 1024;
   size_t max_alternatives = 64;
+  DurabilityLevel durability = DurabilityLevel::kProcessCrash;
+  Env* env = nullptr;  // null: Env::Default(); must outlive the index
 };
 
 class PathIndex {

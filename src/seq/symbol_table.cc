@@ -1,9 +1,12 @@
 #include "seq/symbol_table.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/coding.h"
+#include "common/env.h"
 #include "common/hash.h"
 
 namespace vist {
@@ -42,11 +45,22 @@ Status SymbolTable::Save(const std::string& path) const {
   for (const std::string& name : names_) {
     PutLengthPrefixedSlice(&blob, name);
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write " + path);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  // Write-to-temp + fsync + rename: a crash mid-save leaves the previous
+  // table intact instead of a truncated blob.
+  Env* env = Env::Default();
+  const std::string tmp = path + ".tmp";
+  Env::OpenOptions options;
+  options.truncate = true;
+  VIST_ASSIGN_OR_RETURN(std::unique_ptr<File> out, env->Open(tmp, options));
+  VIST_RETURN_IF_ERROR(out->WriteAt(0, blob.data(), blob.size()));
+  VIST_RETURN_IF_ERROR(out->Sync());
+  out.reset();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + tmp + " into place");
+  }
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  return env->SyncDir(dir);
 }
 
 Result<SymbolTable> SymbolTable::Load(const std::string& path) {

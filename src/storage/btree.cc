@@ -49,7 +49,7 @@ PageId RouteToChild(const NodePage& np, const Slice& key, int* child_index) {
 Result<std::unique_ptr<BTree>> BTree::Create(Pager* pager, BufferPool* pool,
                                              int meta_slot) {
   VIST_ASSIGN_OR_RETURN(PageRef root, pool->New());
-  NodePage np(root.data(), pager->page_size());
+  NodePage np(root.data(), pager->usable_page_size());
   np.Init(kLeafPage);
   root.MarkDirty();
   pager->SetMetaSlot(meta_slot, root.id());
@@ -72,7 +72,7 @@ Result<PageId> BTree::FindLeaf(const Slice& key,
   while (true) {
     BTreeMetrics::Get().node_accesses.Increment();
     VIST_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
-    NodePage np(ref.data(), pager_->page_size());
+    NodePage np(ref.data(), pager_->usable_page_size());
     if (ref.NeedsValidation()) {
       if (!np.Validate()) {
         return Status::Corruption("damaged B+ tree page " +
@@ -91,7 +91,7 @@ Result<PageId> BTree::FindLeaf(const Slice& key,
 
 Status BTree::Put(const Slice& key, const Slice& value) {
   const size_t cell_upper_bound = key.size() + value.size() + 10;
-  if (cell_upper_bound > NodePage::MaxCellSize(pager_->page_size())) {
+  if (cell_upper_bound > NodePage::MaxCellSize(pager_->usable_page_size())) {
     return Status::InvalidArgument("key+value too large for page size");
   }
   BTreeMetrics::Get().puts.Increment();
@@ -99,7 +99,7 @@ Status BTree::Put(const Slice& key, const Slice& value) {
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
   BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
-  NodePage np(leaf.data(), pager_->page_size());
+  NodePage np(leaf.data(), pager_->usable_page_size());
 
   int pos = np.LowerBound(key);
   if (pos < np.num_cells() && np.Key(pos).Compare(key) == 0) {
@@ -119,7 +119,7 @@ Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
   BTreeMetrics::Get().splits.Increment();
   BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef left, pool_->Fetch(page_id));
-  NodePage lp(left.data(), pager_->page_size());
+  NodePage lp(left.data(), pager_->usable_page_size());
   const bool leaf = lp.is_leaf();
   const int n = lp.num_cells();
 
@@ -186,7 +186,7 @@ Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
   VIST_CHECK(mid >= 1) << "split of a node with too few cells";
 
   VIST_ASSIGN_OR_RETURN(PageRef right, pool_->New());
-  NodePage rp(right.data(), pager_->page_size());
+  NodePage rp(right.data(), pager_->usable_page_size());
   const PageId old_next = lp.next();
   const PageId old_prev = lp.prev();
 
@@ -209,7 +209,7 @@ Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
     rp.set_next(old_next);
     if (old_next != kInvalidPageId) {
       VIST_ASSIGN_OR_RETURN(PageRef nref, pool_->Fetch(old_next));
-      NodePage nnp(nref.data(), pager_->page_size());
+      NodePage nnp(nref.data(), pager_->usable_page_size());
       nnp.set_prev(right.id());
       nref.MarkDirty();
     }
@@ -244,7 +244,7 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
   if (path->empty()) {
     // The root split: grow the tree by one level.
     VIST_ASSIGN_OR_RETURN(PageRef root, pool_->New());
-    NodePage np(root.data(), pager_->page_size());
+    NodePage np(root.data(), pager_->usable_page_size());
     np.Init(kInternalPage);
     np.set_next(left_id);
     VIST_CHECK(np.InsertInternal(0, sep, right_id));
@@ -255,7 +255,7 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
   PathEntry entry = path->back();
   path->pop_back();
   VIST_ASSIGN_OR_RETURN(PageRef parent, pool_->Fetch(entry.page));
-  NodePage np(parent.data(), pager_->page_size());
+  NodePage np(parent.data(), pager_->usable_page_size());
   const int pos = entry.child_index + 1;
   if (np.InsertInternal(pos, sep, right_id)) {
     parent.MarkDirty();
@@ -270,7 +270,7 @@ Result<std::string> BTree::Get(const Slice& key) {
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
   BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
-  NodePage np(leaf.data(), pager_->page_size());
+  NodePage np(leaf.data(), pager_->usable_page_size());
   int pos = np.LowerBound(key);
   if (pos < np.num_cells() && np.Key(pos).Compare(key) == 0) {
     return np.Value(pos).ToString();
@@ -284,7 +284,7 @@ Status BTree::Delete(const Slice& key) {
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
   BTreeMetrics::Get().node_accesses.Increment();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
-  NodePage np(leaf.data(), pager_->page_size());
+  NodePage np(leaf.data(), pager_->usable_page_size());
   int pos = np.LowerBound(key);
   if (pos >= np.num_cells() || np.Key(pos).Compare(key) != 0) {
     return Status::NotFound("key not in tree");
@@ -303,18 +303,18 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
   // Unlink from the sibling chain.
   {
     VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
-    NodePage np(leaf.data(), pager_->page_size());
+    NodePage np(leaf.data(), pager_->usable_page_size());
     const PageId prev_id = np.prev();
     const PageId next_id = np.next();
     if (prev_id != kInvalidPageId) {
       VIST_ASSIGN_OR_RETURN(PageRef prev, pool_->Fetch(prev_id));
-      NodePage pp(prev.data(), pager_->page_size());
+      NodePage pp(prev.data(), pager_->usable_page_size());
       pp.set_next(next_id);
       prev.MarkDirty();
     }
     if (next_id != kInvalidPageId) {
       VIST_ASSIGN_OR_RETURN(PageRef next, pool_->Fetch(next_id));
-      NodePage nn(next.data(), pager_->page_size());
+      NodePage nn(next.data(), pager_->usable_page_size());
       nn.set_prev(prev_id);
       next.MarkDirty();
     }
@@ -328,7 +328,7 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
     PathEntry entry = path->back();
     path->pop_back();
     VIST_ASSIGN_OR_RETURN(PageRef parent, pool_->Fetch(entry.page));
-    NodePage np(parent.data(), pager_->page_size());
+    NodePage np(parent.data(), pager_->usable_page_size());
     if (entry.child_index >= 0) {
       VIST_CHECK(np.Child(entry.child_index) == removed_child);
       np.Remove(entry.child_index);
@@ -351,7 +351,7 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
     }
     PathEntry gp = path->back();
     VIST_ASSIGN_OR_RETURN(PageRef grand, pool_->Fetch(gp.page));
-    NodePage gnp(grand.data(), pager_->page_size());
+    NodePage gnp(grand.data(), pager_->usable_page_size());
     if (gp.child_index >= 0) {
       gnp.SetChild(gp.child_index, sole_child);
     } else {
@@ -376,7 +376,7 @@ void BTree::Iterator::LoadLeaf(PageId id) {
   }
   leaf_ = std::move(ref).value();
   if (leaf_.NeedsValidation()) {
-    NodePage np(leaf_.data(), tree_->pager_->page_size());
+    NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
     if (!np.Validate()) {
       status_ = Status::Corruption("damaged B+ tree page " +
                                    std::to_string(id));
@@ -398,7 +398,7 @@ void BTree::Iterator::Seek(const Slice& target) {
   }
   LoadLeaf(*leaf_id);
   if (!status_.ok()) return;
-  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
   index_ = np.LowerBound(target);
   valid_ = true;
   if (index_ >= np.num_cells()) {
@@ -415,7 +415,7 @@ void BTree::Iterator::SeekToFirst() {
   while (true) {
     LoadLeaf(current);
     if (!status_.ok()) return;
-    NodePage np(leaf_.data(), tree_->pager_->page_size());
+    NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
     if (np.is_leaf()) break;
     current = np.next();  // leftmost child
   }
@@ -432,12 +432,12 @@ void BTree::Iterator::SeekToLast() {
   while (true) {
     LoadLeaf(current);
     if (!status_.ok()) return;
-    NodePage np(leaf_.data(), tree_->pager_->page_size());
+    NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
     if (np.is_leaf()) break;
     const int n = np.num_cells();
     current = n > 0 ? np.Child(n - 1) : np.next();
   }
-  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
   index_ = np.num_cells();
   valid_ = true;
   Prev();
@@ -445,7 +445,7 @@ void BTree::Iterator::SeekToLast() {
 
 void BTree::Iterator::Next() {
   VIST_CHECK(valid_);
-  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
   ++index_;
   while (index_ >= np.num_cells()) {
     const PageId next_id = np.next();
@@ -459,14 +459,14 @@ void BTree::Iterator::Next() {
       valid_ = false;
       return;
     }
-    np = NodePage(leaf_.data(), tree_->pager_->page_size());
+    np = NodePage(leaf_.data(), tree_->pager_->usable_page_size());
     index_ = 0;
   }
 }
 
 void BTree::Iterator::Prev() {
   VIST_CHECK(valid_);
-  NodePage np(leaf_.data(), tree_->pager_->page_size());
+  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
   --index_;
   while (index_ < 0) {
     const PageId prev_id = np.prev();
@@ -480,20 +480,20 @@ void BTree::Iterator::Prev() {
       valid_ = false;
       return;
     }
-    np = NodePage(leaf_.data(), tree_->pager_->page_size());
+    np = NodePage(leaf_.data(), tree_->pager_->usable_page_size());
     index_ = np.num_cells() - 1;
   }
 }
 
 Slice BTree::Iterator::key() const {
   VIST_CHECK(valid_);
-  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->page_size());
+  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->usable_page_size());
   return np.Key(index_);
 }
 
 Slice BTree::Iterator::value() const {
   VIST_CHECK(valid_);
-  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->page_size());
+  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->usable_page_size());
   return np.Value(index_);
 }
 

@@ -81,12 +81,18 @@ Status BufferPool::EvictOne() {
         "buffer pool exhausted: all frames pinned (pin leak?)");
   }
   Frame* victim = lru_.front();
-  lru_.pop_front();
-  victim->in_lru = false;
   if (victim->dirty) {
     PoolMetrics::Get().dirty_writebacks.Increment();
-    VIST_RETURN_IF_ERROR(pager_->WritePage(victim->id, victim->data.get()));
+    Status s = pager_->WritePage(victim->id, victim->data.get());
+    if (!s.ok()) {
+      // Leave the victim where it was (still unpinned, still in the LRU):
+      // removing it now would strand a stale frame in the page table.
+      return s;
+    }
+    victim->dirty = false;
   }
+  lru_.pop_front();
+  victim->in_lru = false;
   frames_.erase(victim->id);
   PoolMetrics::Get().evictions.Increment();
   PoolMetrics::Get().resident_frames.Add(-1);

@@ -1,9 +1,5 @@
 #include "storage/pager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <vector>
@@ -27,6 +23,11 @@ struct PagerMetrics {
       obs::GetCounter("storage.pager.freelist_reuses");
   obs::Counter& journal_pages = obs::GetCounter("storage.pager.journal_pages");
   obs::Counter& syncs = obs::GetCounter("storage.pager.syncs");
+  obs::Counter& journal_syncs =
+      obs::GetCounter("storage.pager.journal_syncs");
+  obs::Counter& checksum_failures =
+      obs::GetCounter("storage.checksum_failures");
+  obs::Counter& io_retries = obs::GetCounter("storage.io_retries");
 
   static PagerMetrics& Get() {
     static PagerMetrics metrics;
@@ -34,7 +35,8 @@ struct PagerMetrics {
   }
 };
 
-constexpr uint64_t kMagic = 0x5649535450475231ULL;        // "VISTPGR1"
+// "VISTPGR2": version 2 added the per-page checksum trailer.
+constexpr uint64_t kMagic = 0x5649535450475232ULL;
 constexpr uint64_t kJournalMagic = 0x564953544a4e4c31ULL;  // "VISTJNL1"
 
 // Header field offsets within page 0.
@@ -43,27 +45,53 @@ constexpr size_t kPageSizeOffset = 8;
 constexpr size_t kPageCountOffset = 12;
 constexpr size_t kFreelistOffset = 20;
 constexpr size_t kMetaSlotsOffset = 28;
-constexpr size_t kHeaderBytes = kMetaSlotsOffset + 8 * kNumMetaSlots;
 
 // Journal header: magic(8) page_size(4) page_count(8) freelist(8) metas.
 constexpr size_t kJournalHeaderBytes = 8 + 4 + 8 + 8 + 8 * kNumMetaSlots;
 
-std::string Errno(const char* op, const std::string& path) {
-  std::string msg = op;
-  msg += " ";
-  msg += path;
-  msg += ": ";
-  msg += strerror(errno);
-  return msg;
-}
+// Transient I/O errors are retried this many times in total before they
+// surface; each retry bumps storage.io_retries.
+constexpr int kMaxIoAttempts = 3;
 
 std::string JournalPath(const std::string& path) { return path + ".journal"; }
 
+// Reads exactly `n` bytes at `offset`, retrying transient errors. A short
+// read is Corruption (the caller expected the bytes to exist).
+Status ReadFull(File* file, uint64_t offset, char* buf, size_t n,
+                const std::string& path) {
+  Status status;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) PagerMetrics::Get().io_retries.Increment();
+    size_t got = 0;
+    status = file->ReadAt(offset, buf, n, &got);
+    if (status.ok()) {
+      if (got != n) {
+        return Status::Corruption("short read (" + std::to_string(got) +
+                                  " of " + std::to_string(n) +
+                                  " bytes) at offset " +
+                                  std::to_string(offset) + " in " + path);
+      }
+      return Status::OK();
+    }
+  }
+  return status;
+}
+
+// Writes exactly `n` bytes at `offset`, retrying transient errors.
+Status WriteFull(File* file, uint64_t offset, const char* buf, size_t n) {
+  Status status;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) PagerMetrics::Get().io_retries.Increment();
+    status = file->WriteAt(offset, buf, n);
+    if (status.ok()) return status;
+  }
+  return status;
+}
+
 // Writes the header page from explicit fields (shared by the pager and by
 // journal recovery, which runs before a Pager object exists).
-Status WriteHeaderRaw(int fd, const std::string& path, uint32_t page_size,
-                      uint64_t page_count, PageId freelist,
-                      const PageId* meta_slots) {
+Status WriteHeaderRaw(File* file, uint32_t page_size, uint64_t page_count,
+                      PageId freelist, const PageId* meta_slots) {
   std::vector<char> buf(page_size, 0);
   EncodeFixed64LE(buf.data() + kMagicOffset, kMagic);
   EncodeFixed32LE(buf.data() + kPageSizeOffset, page_size);
@@ -72,11 +100,9 @@ Status WriteHeaderRaw(int fd, const std::string& path, uint32_t page_size,
   for (int i = 0; i < kNumMetaSlots; ++i) {
     EncodeFixed64LE(buf.data() + kMetaSlotsOffset + 8 * i, meta_slots[i]);
   }
-  ssize_t n = pwrite(fd, buf.data(), page_size, 0);
-  if (n != static_cast<ssize_t>(page_size)) {
-    return Status::IOError(Errno("pwrite header", path));
-  }
-  return Status::OK();
+  EncodeFixed64LE(buf.data() + page_size - kPageTrailerSize,
+                  ComputePageChecksum(0, buf.data(), page_size));
+  return WriteFull(file, 0, buf.data(), page_size);
 }
 
 uint64_t EntryChecksum(PageId id, const char* data, uint32_t page_size) {
@@ -85,40 +111,63 @@ uint64_t EntryChecksum(PageId id, const char* data, uint32_t page_size) {
   return Hash64(Slice(data, page_size), Hash64(Slice(id_buf, 8)));
 }
 
-bool ReadExactly(int fd, char* buf, size_t n) {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = read(fd, buf + done, n - done);
-    if (r <= 0) return false;
-    done += static_cast<size_t>(r);
-  }
-  return true;
-}
-
-bool WriteFully(int fd, const char* buf, size_t n) {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t w = write(fd, buf + done, n - done);
-    if (w <= 0) return false;
-    done += static_cast<size_t>(w);
-  }
-  return true;
-}
-
 }  // namespace
 
-Pager::Pager(int fd, std::string path, uint32_t page_size)
-    : fd_(fd), path_(std::move(path)), page_size_(page_size) {}
+uint64_t ComputePageChecksum(PageId id, const char* page,
+                             uint32_t page_size) {
+  char id_buf[8];
+  EncodeFixed64LE(id_buf, id);
+  return Hash64(Slice(page, page_size - kPageTrailerSize),
+                Hash64(Slice(id_buf, 8)));
+}
+
+Result<PagerFileHeader> DecodePagerHeader(const char* page,
+                                          uint32_t page_size) {
+  const uint64_t stored =
+      DecodeFixed64LE(page + page_size - kPageTrailerSize);
+  if (stored != ComputePageChecksum(0, page, page_size)) {
+    return Status::Corruption("pager header checksum mismatch");
+  }
+  if (DecodeFixed64LE(page + kMagicOffset) != kMagic) {
+    return Status::Corruption("bad pager magic");
+  }
+  PagerFileHeader header;
+  header.page_size = DecodeFixed32LE(page + kPageSizeOffset);
+  header.page_count = DecodeFixed64LE(page + kPageCountOffset);
+  header.freelist_head = DecodeFixed64LE(page + kFreelistOffset);
+  for (int i = 0; i < kNumMetaSlots; ++i) {
+    header.meta_slots[i] = DecodeFixed64LE(page + kMetaSlotsOffset + 8 * i);
+  }
+  if (header.page_size != page_size) {
+    return Status::Corruption("pager header page_size mismatch");
+  }
+  if (header.page_count == 0) {
+    return Status::Corruption("pager header claims zero pages");
+  }
+  if (header.freelist_head >= header.page_count) {
+    return Status::Corruption("pager freelist head out of range");
+  }
+  return header;
+}
+
+Pager::Pager(Env* env, std::unique_ptr<File> file, std::string path,
+             const PagerOptions& options)
+    : env_(env),
+      file_(std::move(file)),
+      path_(std::move(path)),
+      page_size_(options.page_size),
+      durability_(options.durability) {
+  dir_ = std::filesystem::path(path_).parent_path().string();
+  if (dir_.empty()) dir_ = ".";
+}
 
 Pager::~Pager() {
-  if (fd_ >= 0) {
+  if (file_ != nullptr && !crashed_) {
     Status s = Sync();
     if (!s.ok()) {
       VIST_LOG(Error) << "pager close: " << s.ToString();
     }
-    close(fd_);
   }
-  if (journal_fd_ >= 0) close(journal_fd_);
 }
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
@@ -129,60 +178,80 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
     return Status::InvalidArgument(
         "page_size must be a power of two in [512, 32768]");
   }
-  int fd = open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) return Status::IOError(Errno("open", path));
-
-  off_t file_size = lseek(fd, 0, SEEK_END);
-  if (file_size < 0) {
-    close(fd);
-    return Status::IOError(Errno("lseek", path));
-  }
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  VIST_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                        env->Open(path, Env::OpenOptions{}));
+  VIST_ASSIGN_OR_RETURN(uint64_t file_size, file->Size());
 
   // A leftover journal means the last batch never committed: roll back to
   // the committed state before reading anything.
-  if (file_size > 0 && std::filesystem::exists(JournalPath(path))) {
-    Status s = RecoverFromJournal(fd, path, options.page_size);
-    if (!s.ok()) {
-      close(fd);
-      return s;
-    }
+  VIST_ASSIGN_OR_RETURN(bool has_journal,
+                        env->FileExists(JournalPath(path)));
+  if (file_size > 0 && has_journal) {
+    VIST_RETURN_IF_ERROR(RecoverFromJournal(env, file.get(), path,
+                                            options.page_size,
+                                            options.durability));
+    VIST_ASSIGN_OR_RETURN(file_size, file->Size());
   }
 
-  std::unique_ptr<Pager> pager(new Pager(fd, path, options.page_size));
+  std::unique_ptr<Pager> pager(
+      new Pager(env, std::move(file), path, options));
   if (file_size == 0) {
     // Fresh file: write the initial header.
-    Status s = WriteHeaderRaw(fd, path, pager->page_size_,
-                              pager->page_count_, pager->freelist_head_,
-                              pager->meta_slots_);
-    if (!s.ok()) return s;
+    VIST_RETURN_IF_ERROR(WriteHeaderRaw(pager->file_.get(),
+                                        pager->page_size_,
+                                        pager->page_count_,
+                                        pager->freelist_head_,
+                                        pager->meta_slots_));
   } else {
-    Status s = pager->ReadHeader();
-    if (!s.ok()) return s;
-    if (pager->page_size_ != options.page_size) {
-      return Status::InvalidArgument(
-          "page_size mismatch with existing file " + path);
+    // Check the stored page size from the fixed-offset prefix before any
+    // full-page read: with a mismatched size the checksum math would call
+    // this usage error corruption.
+    char head[12];
+    VIST_RETURN_IF_ERROR(
+        ReadFull(pager->file_.get(), 0, head, sizeof(head), path));
+    if (DecodeFixed64LE(head + kMagicOffset) == kMagic) {
+      const uint32_t stored = DecodeFixed32LE(head + kPageSizeOffset);
+      if (stored != options.page_size) {
+        return Status::InvalidArgument(
+            path + " uses page_size " + std::to_string(stored) +
+            ", opened with " + std::to_string(options.page_size));
+      }
+    }
+    VIST_RETURN_IF_ERROR(pager->ReadHeader());
+    if (file_size <
+        pager->page_count_ * static_cast<uint64_t>(pager->page_size_)) {
+      return Status::Corruption(
+          path + " is truncated: header claims " +
+          std::to_string(pager->page_count_) + " pages but the file holds " +
+          std::to_string(file_size) + " bytes");
     }
   }
   return pager;
 }
 
-Status Pager::RecoverFromJournal(int fd, const std::string& path,
-                                 uint32_t page_size) {
+Status Pager::RecoverFromJournal(Env* env, File* file,
+                                 const std::string& path, uint32_t page_size,
+                                 DurabilityLevel durability) {
   const std::string journal_path = JournalPath(path);
-  int jfd = open(journal_path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (jfd < 0) return Status::IOError(Errno("open journal", journal_path));
+  Env::OpenOptions ro;
+  ro.create = false;
+  ro.read_only = true;
+  VIST_ASSIGN_OR_RETURN(std::unique_ptr<File> journal,
+                        env->Open(journal_path, ro));
 
   char header[kJournalHeaderBytes];
-  if (!ReadExactly(jfd, header, sizeof(header))) {
+  size_t got = 0;
+  VIST_RETURN_IF_ERROR(journal->ReadAt(0, header, sizeof(header), &got));
+  if (got != sizeof(header)) {
     // Torn before the header finished: nothing was overwritten yet (the
     // journal is written before the first data write), so just drop it.
-    close(jfd);
-    std::filesystem::remove(journal_path);
+    journal.reset();
+    VIST_RETURN_IF_ERROR(env->DeleteFile(journal_path));
     return Status::OK();
   }
   if (DecodeFixed64LE(header) != kJournalMagic ||
       DecodeFixed32LE(header + 8) != page_size) {
-    close(jfd);
     return Status::Corruption("bad journal header for " + path);
   }
   const uint64_t page_count = DecodeFixed64LE(header + 12);
@@ -192,41 +261,68 @@ Status Pager::RecoverFromJournal(int fd, const std::string& path,
     meta_slots[i] = DecodeFixed64LE(header + 28 + 8 * i);
   }
 
-  // Restore every complete, checksummed pre-image; a torn tail entry is
-  // one whose data write never happened, so it is safe to skip.
-  std::vector<char> entry(8 + page_size + 8);
-  while (ReadExactly(jfd, entry.data(), entry.size())) {
+  // Read every complete entry up front so a checksum failure can be
+  // classified: an invalid entry at the very tail is a torn write from the
+  // crash (its data overwrite never happened — safe to skip), but an
+  // invalid entry *followed by valid ones* means the journal itself is
+  // damaged and a silent partial rollback would corrupt the file.
+  const size_t entry_size = 8 + page_size + 8;
+  struct JournalEntry {
+    PageId id;
+    std::vector<char> data;
+  };
+  std::vector<JournalEntry> entries;
+  size_t invalid_at = SIZE_MAX;
+  uint64_t offset = kJournalHeaderBytes;
+  std::vector<char> entry(entry_size);
+  while (true) {
+    got = 0;
+    VIST_RETURN_IF_ERROR(
+        journal->ReadAt(offset, entry.data(), entry_size, &got));
+    if (got != entry_size) break;  // torn tail (or clean end of journal)
+    offset += entry_size;
     const PageId id = DecodeFixed64LE(entry.data());
-    const uint64_t checksum =
-        DecodeFixed64LE(entry.data() + 8 + page_size);
-    if (checksum != EntryChecksum(id, entry.data() + 8, page_size)) break;
-    if (pwrite(fd, entry.data() + 8, page_size,
-               static_cast<off_t>(id) * page_size) !=
-        static_cast<ssize_t>(page_size)) {
-      close(jfd);
-      return Status::IOError(Errno("rollback pwrite", path));
+    const uint64_t checksum = DecodeFixed64LE(entry.data() + 8 + page_size);
+    if (checksum != EntryChecksum(id, entry.data() + 8, page_size)) {
+      if (invalid_at == SIZE_MAX) invalid_at = entries.size();
+      continue;
     }
+    if (invalid_at != SIZE_MAX) {
+      return Status::Corruption(
+          "journal for " + path + " has a torn entry at index " +
+          std::to_string(invalid_at) + " followed by valid entries");
+    }
+    entries.push_back({id, std::vector<char>(entry.begin() + 8,
+                                             entry.begin() + 8 + page_size)});
   }
-  close(jfd);
+  journal.reset();
 
-  VIST_RETURN_IF_ERROR(WriteHeaderRaw(fd, path, page_size, page_count,
-                                      freelist, meta_slots));
-  if (ftruncate(fd, static_cast<off_t>(page_count) * page_size) != 0) {
-    return Status::IOError(Errno("ftruncate", path));
+  for (const JournalEntry& e : entries) {
+    VIST_RETURN_IF_ERROR(WriteFull(file, e.id * page_size, e.data.data(),
+                                   page_size));
   }
-  if (fdatasync(fd) != 0) return Status::IOError(Errno("fdatasync", path));
-  std::filesystem::remove(journal_path);
+  VIST_RETURN_IF_ERROR(
+      WriteHeaderRaw(file, page_size, page_count, freelist, meta_slots));
+  VIST_RETURN_IF_ERROR(file->Truncate(page_count * page_size));
+  VIST_RETURN_IF_ERROR(file->Sync());
+  VIST_RETURN_IF_ERROR(env->DeleteFile(journal_path));
+  if (durability == DurabilityLevel::kPowerLoss) {
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty()) dir = ".";
+    VIST_RETURN_IF_ERROR(env->SyncDir(dir));
+  }
   return Status::OK();
 }
 
 Status Pager::EnsureBatch() {
-  if (in_batch_) return Status::OK();
-  const std::string journal_path = JournalPath(path_);
-  journal_fd_ = open(journal_path.c_str(),
-                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (journal_fd_ < 0) {
-    return Status::IOError(Errno("open journal", journal_path));
-  }
+  // journal_ can be null with in_batch_ still set when a previous Sync()
+  // synced the data file but failed to delete the journal; the batch is
+  // durable, so starting a fresh journal (truncating the stale one) is
+  // correct.
+  if (in_batch_ && journal_ != nullptr) return Status::OK();
+  Env::OpenOptions options;
+  options.truncate = true;
+  VIST_ASSIGN_OR_RETURN(journal_, env_->Open(JournalPath(path_), options));
   char header[kJournalHeaderBytes];
   EncodeFixed64LE(header, kJournalMagic);
   EncodeFixed32LE(header + 8, page_size_);
@@ -235,56 +331,73 @@ Status Pager::EnsureBatch() {
   for (int i = 0; i < kNumMetaSlots; ++i) {
     EncodeFixed64LE(header + 28 + 8 * i, meta_slots_[i]);
   }
-  if (!WriteFully(journal_fd_, header, sizeof(header))) {
-    return Status::IOError(Errno("write journal", journal_path));
-  }
+  VIST_RETURN_IF_ERROR(journal_->Append(header, sizeof(header)));
   batch_start_page_count_ = page_count_;
   journaled_.clear();
   in_batch_ = true;
+  journal_dirty_ = true;
+  journal_dir_synced_ = false;
   return Status::OK();
 }
 
 Status Pager::JournalPage(PageId id) {
   VIST_DCHECK(in_batch_);
   if (id >= batch_start_page_count_) return Status::OK();  // new this batch
-  if (!journaled_.insert(id).second) return Status::OK();  // already logged
+  if (journaled_.count(id) != 0) return Status::OK();      // already logged
   PagerMetrics::Get().journal_pages.Increment();
   std::vector<char> entry(8 + page_size_ + 8);
   EncodeFixed64LE(entry.data(), id);
-  ssize_t n = pread(fd_, entry.data() + 8, page_size_,
-                    static_cast<off_t>(id) * page_size_);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IOError(Errno("pread pre-image", path_));
-  }
+  // The pre-image read verifies the page checksum: journaling an already
+  // corrupt page would launder the damage into "committed" state.
+  VIST_RETURN_IF_ERROR(ReadPage(id, entry.data() + 8));
   EncodeFixed64LE(entry.data() + 8 + page_size_,
                   EntryChecksum(id, entry.data() + 8, page_size_));
-  if (!WriteFully(journal_fd_, entry.data(), entry.size())) {
-    return Status::IOError(Errno("write journal", path_));
+  VIST_RETURN_IF_ERROR(journal_->Append(entry.data(), entry.size()));
+  journaled_.insert(id);
+  journal_dirty_ = true;
+  return Status::OK();
+}
+
+Status Pager::SyncJournalForOverwrite(PageId id) {
+  if (durability_ != DurabilityLevel::kPowerLoss) return Status::OK();
+  if (id >= batch_start_page_count_) return Status::OK();  // not an overwrite
+  if (!journal_dirty_) return Status::OK();
+  PagerMetrics::Get().journal_syncs.Increment();
+  VIST_RETURN_IF_ERROR(journal_->Sync());
+  if (!journal_dir_synced_) {
+    // Makes the journal's directory entry durable (and, transitively, the
+    // removal of the previous batch's journal).
+    VIST_RETURN_IF_ERROR(env_->SyncDir(dir_));
+    journal_dir_synced_ = true;
   }
+  journal_dirty_ = false;
   return Status::OK();
 }
 
 Status Pager::WriteHeader() {
-  VIST_RETURN_IF_ERROR(WriteHeaderRaw(fd_, path_, page_size_, page_count_,
+  VIST_RETURN_IF_ERROR(WriteHeaderRaw(file_.get(), page_size_, page_count_,
                                       freelist_head_, meta_slots_));
   header_dirty_ = false;
   return Status::OK();
 }
 
 Status Pager::ReadHeader() {
-  std::vector<char> buf(kHeaderBytes);
-  ssize_t n = pread(fd_, buf.data(), kHeaderBytes, 0);
-  if (n != static_cast<ssize_t>(kHeaderBytes)) {
-    return Status::Corruption("short read on pager header of " + path_);
+  std::vector<char> buf(page_size_);
+  VIST_RETURN_IF_ERROR(
+      ReadFull(file_.get(), 0, buf.data(), page_size_, path_));
+  auto header = DecodePagerHeader(buf.data(), page_size_);
+  if (!header.ok()) {
+    if (header.status().IsCorruption() &&
+        header.status().message().find("checksum") != std::string::npos) {
+      PagerMetrics::Get().checksum_failures.Increment();
+    }
+    return Status::Corruption(header.status().message() + " in " + path_);
   }
-  if (DecodeFixed64LE(buf.data() + kMagicOffset) != kMagic) {
-    return Status::Corruption("bad magic in " + path_);
-  }
-  page_size_ = DecodeFixed32LE(buf.data() + kPageSizeOffset);
-  page_count_ = DecodeFixed64LE(buf.data() + kPageCountOffset);
-  freelist_head_ = DecodeFixed64LE(buf.data() + kFreelistOffset);
+  page_size_ = header->page_size;
+  page_count_ = header->page_count;
+  freelist_head_ = header->freelist_head;
   for (int i = 0; i < kNumMetaSlots; ++i) {
-    meta_slots_[i] = DecodeFixed64LE(buf.data() + kMetaSlotsOffset + 8 * i);
+    meta_slots_[i] = header->meta_slots[i];
   }
   return Status::OK();
 }
@@ -294,10 +407,15 @@ Status Pager::ReadPage(PageId id, char* buf) {
     return Status::InvalidArgument("ReadPage: page id out of range");
   }
   PagerMetrics::Get().page_reads.Increment();
-  ssize_t n = pread(fd_, buf, page_size_,
-                    static_cast<off_t>(id) * page_size_);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IOError(Errno("pread", path_));
+  const uint64_t offset = id * static_cast<uint64_t>(page_size_);
+  VIST_RETURN_IF_ERROR(ReadFull(file_.get(), offset, buf, page_size_, path_));
+  const uint64_t stored =
+      DecodeFixed64LE(buf + page_size_ - kPageTrailerSize);
+  if (stored != ComputePageChecksum(id, buf, page_size_)) {
+    PagerMetrics::Get().checksum_failures.Increment();
+    return Status::Corruption("page " + std::to_string(id) +
+                              " checksum mismatch at file offset " +
+                              std::to_string(offset) + " in " + path_);
   }
   return Status::OK();
 }
@@ -309,12 +427,12 @@ Status Pager::WritePage(PageId id, const char* buf) {
   PagerMetrics::Get().page_writes.Increment();
   VIST_RETURN_IF_ERROR(EnsureBatch());
   VIST_RETURN_IF_ERROR(JournalPage(id));
-  ssize_t n = pwrite(fd_, buf, page_size_,
-                     static_cast<off_t>(id) * page_size_);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IOError(Errno("pwrite", path_));
-  }
-  return Status::OK();
+  VIST_RETURN_IF_ERROR(SyncJournalForOverwrite(id));
+  write_scratch_.assign(buf, page_size_);
+  EncodeFixed64LE(write_scratch_.data() + page_size_ - kPageTrailerSize,
+                  ComputePageChecksum(id, write_scratch_.data(), page_size_));
+  return WriteFull(file_.get(), id * static_cast<uint64_t>(page_size_),
+                   write_scratch_.data(), page_size_);
 }
 
 Result<PageId> Pager::AllocatePage() {
@@ -324,20 +442,23 @@ Result<PageId> Pager::AllocatePage() {
   if (freelist_head_ != kInvalidPageId) {
     PagerMetrics::Get().freelist_reuses.Increment();
     PageId id = freelist_head_;
-    char next_buf[8];
-    ssize_t n = pread(fd_, next_buf, 8, static_cast<off_t>(id) * page_size_);
-    if (n != 8) return Status::IOError(Errno("pread freelist", path_));
-    freelist_head_ = DecodeFixed64LE(next_buf);
+    // Full checksummed read: freelist damage (cycles via bit flips, torn
+    // free-page writes) surfaces here instead of corrupting allocation.
+    std::vector<char> page(page_size_);
+    VIST_RETURN_IF_ERROR(ReadPage(id, page.data()));
+    freelist_head_ = DecodeFixed64LE(page.data());
+    if (freelist_head_ >= page_count_) {
+      return Status::Corruption("freelist next pointer " +
+                                std::to_string(freelist_head_) +
+                                " out of range in " + path_);
+    }
     return id;
   }
   PageId id = page_count_++;
-  // Extend the file so subsequent ReadPage of this id succeeds.
+  // Extend the file so subsequent ReadPage of this id succeeds; WritePage
+  // stamps a valid trailer (and skips journaling, as the page is new).
   std::vector<char> zero(page_size_, 0);
-  ssize_t n = pwrite(fd_, zero.data(), page_size_,
-                     static_cast<off_t>(id) * page_size_);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IOError(Errno("pwrite extend", path_));
-  }
+  VIST_RETURN_IF_ERROR(WritePage(id, zero.data()));
   return id;
 }
 
@@ -346,12 +467,11 @@ Status Pager::FreePage(PageId id) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
   PagerMetrics::Get().pages_freed.Increment();
-  VIST_RETURN_IF_ERROR(EnsureBatch());
-  VIST_RETURN_IF_ERROR(JournalPage(id));
-  char next_buf[8];
-  EncodeFixed64LE(next_buf, freelist_head_);
-  ssize_t n = pwrite(fd_, next_buf, 8, static_cast<off_t>(id) * page_size_);
-  if (n != 8) return Status::IOError(Errno("pwrite freelist", path_));
+  // Rewrite the whole page (zeros + next pointer) so the freed page keeps
+  // a valid checksum; WritePage journals the pre-image.
+  std::vector<char> page(page_size_, 0);
+  EncodeFixed64LE(page.data(), freelist_head_);
+  VIST_RETURN_IF_ERROR(WritePage(id, page.data()));
   freelist_head_ = id;
   header_dirty_ = true;
   return Status::OK();
@@ -373,23 +493,32 @@ void Pager::SetMetaSlot(int slot, PageId id) {
 
 Status Pager::Sync() {
   PagerMetrics::Get().syncs.Increment();
-  if (header_dirty_) VIST_RETURN_IF_ERROR(WriteHeader());
-  if (fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync", path_));
+  if (header_dirty_) {
+    // The header is a committed page: under kPowerLoss its pre-image (in
+    // the journal header) must be durable before the overwrite.
+    if (in_batch_) VIST_RETURN_IF_ERROR(SyncJournalForOverwrite(0));
+    VIST_RETURN_IF_ERROR(WriteHeader());
+  }
+  VIST_RETURN_IF_ERROR(file_->Sync());
   if (in_batch_) {
-    close(journal_fd_);
-    journal_fd_ = -1;
-    std::filesystem::remove(JournalPath(path_));
+    journal_.reset();
+    VIST_RETURN_IF_ERROR(env_->DeleteFile(JournalPath(path_)));
+    if (durability_ == DurabilityLevel::kPowerLoss) {
+      // Make the unlink durable: a resurrected journal would roll back a
+      // committed batch.
+      VIST_RETURN_IF_ERROR(env_->SyncDir(dir_));
+    }
     journaled_.clear();
     in_batch_ = false;
+    journal_dirty_ = false;
   }
   return Status::OK();
 }
 
 void Pager::SimulateCrashForTesting() {
-  if (fd_ >= 0) close(fd_);
-  fd_ = -1;
-  if (journal_fd_ >= 0) close(journal_fd_);
-  journal_fd_ = -1;
+  crashed_ = true;
+  file_.reset();
+  journal_.reset();
   // The journal file stays on disk: reopening the path must roll back.
 }
 

@@ -7,18 +7,34 @@
 //                    16 user metadata slots)
 //   pages 1..N-1     data pages, allocated/freed through the pager
 //
+// Every page — header included — ends in an 8-byte trailer holding a
+// 64-bit checksum of the rest of the page, seeded with the page id, so a
+// torn write or flipped bit surfaces as Status::Corruption (naming the
+// page and file offset) on the very next ReadPage instead of as undefined
+// behaviour deep in a tree walk. Callers therefore see
+// usable_page_size() == page_size() - kPageTrailerSize bytes per page.
+//
 // Freed pages are chained into a freelist through their first 8 bytes, so
-// space is reused before the file grows. The pager performs raw pread/pwrite;
-// caching and pinning live in BufferPool.
+// space is reused before the file grows. All I/O goes through a vist::Env
+// (common/env.h), which is how the fault-injection tests drive every
+// recovery path; transient I/O errors are retried a few times
+// (`storage.io_retries`) before surfacing. The pager performs raw
+// positional I/O; caching and pinning live in BufferPool.
 //
 // Crash safety (SQLite-style undo journal): the first mutation after open
 // or commit starts a batch; the pre-image of every page overwritten during
 // the batch is appended to <path>.journal (checksummed), together with a
 // snapshot of the header state. Sync() commits the batch and removes the
 // journal; Open() rolls back any journal left behind by a crash, restoring
-// the last committed state. Journal writes are buffered, which makes
-// batches atomic against *process* crashes; full power-loss safety would
-// additionally require fsyncing the journal before each data overwrite.
+// the last committed state. Two durability levels:
+//
+//   * kProcessCrash — journal writes reach the OS page cache but are not
+//     fsynced until commit: batches are atomic against process crashes
+//     (the kernel retains completed writes), not against power loss.
+//   * kPowerLoss   — the journal is fsynced (and the directory fsynced so
+//     the journal is findable) before the first overwrite of any committed
+//     page, and the directory is fsynced again when the journal is removed
+//     at commit, closing the power-loss window. See docs/DURABILITY.md.
 
 #ifndef VIST_STORAGE_PAGER_H_
 #define VIST_STORAGE_PAGER_H_
@@ -28,6 +44,7 @@
 #include <set>
 #include <string>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -38,20 +55,52 @@ namespace vist {
 using PageId = uint64_t;
 inline constexpr PageId kInvalidPageId = 0;
 
+/// Bytes at the end of every page reserved for the page checksum.
+inline constexpr uint32_t kPageTrailerSize = 8;
+
+/// What a crash may cost (see the file comment / docs/DURABILITY.md).
+enum class DurabilityLevel {
+  kProcessCrash,  // atomic batches vs. process crashes (no fsync barriers)
+  kPowerLoss,     // atomic batches vs. power loss (journal + dir fsyncs)
+};
+
 struct PagerOptions {
   /// Bytes per page. The paper's experiments use 2 KB Berkeley DB pages;
   /// we default to 4 KB and make it configurable for the size benchmarks.
   uint32_t page_size = 4096;
+  DurabilityLevel durability = DurabilityLevel::kProcessCrash;
+  /// File-system seam; null means Env::Default(). The env must outlive the
+  /// pager.
+  Env* env = nullptr;
 };
 
 /// Number of user metadata slots in the header page (each one PageId wide).
 /// An index stores the root pages of its component B+ trees here.
 inline constexpr int kNumMetaSlots = 16;
 
+/// Checksum of page `id`'s bytes [0, page_size - kPageTrailerSize), as
+/// stored in the page trailer. Exposed for offline checkers (fsck).
+uint64_t ComputePageChecksum(PageId id, const char* page, uint32_t page_size);
+
+/// Decoded header page (page 0). Exposed for offline checkers.
+struct PagerFileHeader {
+  uint32_t page_size = 0;
+  uint64_t page_count = 0;
+  PageId freelist_head = kInvalidPageId;
+  PageId meta_slots[kNumMetaSlots] = {};
+};
+
+/// Verifies the checksum, magic, and field sanity of a header page image
+/// (`page` must hold `page_size` bytes read from file offset 0).
+Result<PagerFileHeader> DecodePagerHeader(const char* page,
+                                          uint32_t page_size);
+
 class Pager {
  public:
   /// Opens (creating if absent) the page file at `path`. When the file
-  /// already exists, `options.page_size` must match the stored one.
+  /// already exists, `options.page_size` must match the stored one. Damage
+  /// (truncated header, short final page, mangled journal) surfaces as
+  /// Status::Corruption.
   static Result<std::unique_ptr<Pager>> Open(const std::string& path,
                                              const PagerOptions& options);
 
@@ -60,9 +109,11 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// Reads page `id` into `buf` (page_size() bytes).
+  /// Reads page `id` into `buf` (page_size() bytes) and verifies its
+  /// checksum; a mismatch is Status::Corruption naming the page and offset.
   Status ReadPage(PageId id, char* buf);
-  /// Writes page `id` from `buf` (page_size() bytes).
+  /// Writes page `id` from `buf` (page_size() bytes); the trailer is
+  /// stamped by the pager, so the caller's trailer bytes are ignored.
   Status WritePage(PageId id, const char* buf);
 
   /// Returns a fresh page id, reusing a freed page when available. The
@@ -76,22 +127,31 @@ class Pager {
   void SetMetaSlot(int slot, PageId id);
 
   uint32_t page_size() const { return page_size_; }
+  /// Bytes per page available to callers (page_size minus the checksum
+  /// trailer). Page-content layouts must fit in this.
+  uint32_t usable_page_size() const { return page_size_ - kPageTrailerSize; }
   /// Total pages in the file, header included (so also the file size in
   /// pages); used by the index-size experiments.
   uint64_t page_count() const { return page_count_; }
+  /// Head of the free-page chain (kInvalidPageId when empty); exposed for
+  /// the offline checker's freelist walk.
+  PageId freelist_head() const { return freelist_head_; }
+
+  DurabilityLevel durability() const { return durability_; }
 
   /// Commits the current batch: flushes the header, fdatasyncs the file,
   /// and discards the rollback journal. State as of this call survives a
-  /// crash.
+  /// crash (of the kind the durability level covers).
   Status Sync();
 
-  /// Test hook: drops the file descriptors without committing, as a
-  /// crashed process would. The pager is unusable afterwards; reopening
-  /// the path rolls back to the last Sync().
+  /// Test hook: drops the file handles without committing, as a crashed
+  /// process would. The pager is unusable afterwards; reopening the path
+  /// rolls back to the last Sync().
   void SimulateCrashForTesting();
 
  private:
-  Pager(int fd, std::string path, uint32_t page_size);
+  Pager(Env* env, std::unique_ptr<File> file, std::string path,
+        const PagerOptions& options);
 
   Status WriteHeader();
   Status ReadHeader();
@@ -101,22 +161,34 @@ class Pager {
   /// Appends page `id`'s pre-image to the journal if it both existed at
   /// batch start and has not been journaled yet.
   Status JournalPage(PageId id);
+  /// kPowerLoss barrier: before overwriting committed page `id`, make the
+  /// journal (and its directory entry) durable.
+  Status SyncJournalForOverwrite(PageId id);
   /// Applies a leftover journal (crash recovery); called from Open.
-  static Status RecoverFromJournal(int fd, const std::string& path,
-                                   uint32_t page_size);
+  static Status RecoverFromJournal(Env* env, File* file,
+                                   const std::string& path,
+                                   uint32_t page_size,
+                                   DurabilityLevel durability);
 
-  int fd_;
+  Env* env_;
+  std::unique_ptr<File> file_;
   std::string path_;
+  std::string dir_;  // parent directory of path_, for SyncDir
   uint32_t page_size_;
+  DurabilityLevel durability_;
   uint64_t page_count_ = 1;  // header page
   PageId freelist_head_ = kInvalidPageId;
   PageId meta_slots_[kNumMetaSlots] = {};
   bool header_dirty_ = false;
+  bool crashed_ = false;
 
-  int journal_fd_ = -1;
+  std::unique_ptr<File> journal_;
   bool in_batch_ = false;
+  bool journal_dirty_ = false;      // appended since last journal fsync
+  bool journal_dir_synced_ = false;  // dir fsynced since journal creation
   uint64_t batch_start_page_count_ = 0;
   std::set<PageId> journaled_;
+  std::string write_scratch_;  // trailer-stamping buffer for WritePage
 };
 
 }  // namespace vist

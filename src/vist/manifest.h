@@ -1,0 +1,33 @@
+// Index-directory manifest: the persisted subset of VistOptions, written at
+// Create() and reloaded at Open() so callers never have to repeat the
+// parameters an index was built with. Also the canonical place for the
+// directory layout (index.db, symbols.tbl, stats.bin, manifest.bin), shared
+// by VistIndex and the offline checker (vist/fsck.h).
+
+#ifndef VIST_VIST_MANIFEST_H_
+#define VIST_VIST_MANIFEST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+
+std::string ManifestPath(const std::string& dir);
+std::string SymbolsPath(const std::string& dir);
+std::string StatsPath(const std::string& dir);
+std::string PageFilePath(const std::string& dir);
+
+/// Serializes the persisted options to <dir>/manifest.bin (atomically:
+/// tmp file + fsync + rename). Runtime-only fields (buffer pool size,
+/// durability, env, stats pointer) are not stored.
+Status SaveManifest(const std::string& dir, const VistOptions& options);
+
+/// Overwrites the persisted fields of `*options` from <dir>/manifest.bin;
+/// Corruption when the blob is malformed.
+Status LoadManifest(const std::string& dir, VistOptions* options);
+
+}  // namespace vist
+
+#endif  // VIST_VIST_MANIFEST_H_

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "query/path_parser.h"
 #include "seq/key_codec.h"
+#include "vist/manifest.h"
 #include "vist/verifier.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
@@ -21,68 +22,6 @@ constexpr int kEntryTreeSlot = 0;
 constexpr int kDocIdTreeSlot = 1;
 constexpr int kDocStoreSlot = 2;
 // Meta slots 3 and 4 hold max_depth and underflow_runs (see header).
-
-constexpr uint64_t kManifestVersion = 1;
-
-std::string ManifestPath(const std::string& dir) {
-  return dir + "/manifest.bin";
-}
-std::string SymbolsPath(const std::string& dir) {
-  return dir + "/symbols.tbl";
-}
-std::string StatsPath(const std::string& dir) { return dir + "/stats.bin"; }
-std::string PageFilePath(const std::string& dir) {
-  return dir + "/index.db";
-}
-
-Status SaveManifest(const std::string& dir, const VistOptions& options) {
-  std::string blob;
-  PutVarint64(&blob, kManifestVersion);
-  PutVarint64(&blob, options.page_size);
-  PutVarint64(&blob,
-              options.allocator == VistOptions::AllocatorKind::kStatistical);
-  PutVarint64(&blob, options.lambda);
-  PutVarint64(&blob, options.reserve_divisor);
-  PutVarint64(&blob, options.other_divisor);
-  PutVarint64(&blob, options.store_documents);
-  PutVarint64(&blob, options.sequence.include_text);
-  PutVarint64(&blob, options.sequence.include_attribute_values);
-  std::ofstream out(ManifestPath(dir), std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write manifest in " + dir);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!out) return Status::IOError("short write to manifest in " + dir);
-  return Status::OK();
-}
-
-Status LoadManifest(const std::string& dir, VistOptions* options) {
-  std::ifstream in(ManifestPath(dir), std::ios::binary);
-  if (!in) return Status::IOError("cannot read manifest in " + dir);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string blob = buffer.str();
-  Slice input(blob);
-  uint64_t version = 0, page_size = 0, statistical = 0, lambda = 0;
-  uint64_t reserve = 0, other = 0, store = 0, text = 0, attrs = 0;
-  if (!GetVarint64(&input, &version) || version != kManifestVersion ||
-      !GetVarint64(&input, &page_size) || !GetVarint64(&input, &statistical) ||
-      !GetVarint64(&input, &lambda) || !GetVarint64(&input, &reserve) ||
-      !GetVarint64(&input, &other) || !GetVarint64(&input, &store) ||
-      !GetVarint64(&input, &text) || !GetVarint64(&input, &attrs) ||
-      !input.empty()) {
-    return Status::Corruption("bad manifest in " + dir);
-  }
-  options->page_size = static_cast<uint32_t>(page_size);
-  options->allocator = statistical != 0
-                           ? VistOptions::AllocatorKind::kStatistical
-                           : VistOptions::AllocatorKind::kUniform;
-  options->lambda = lambda;
-  options->reserve_divisor = reserve;
-  options->other_divisor = other;
-  options->store_documents = store != 0;
-  options->sequence.include_text = text != 0;
-  options->sequence.include_attribute_values = attrs != 0;
-  return Status::OK();
-}
 
 // Metric reference: docs/OBSERVABILITY.md (vist section).
 struct VistMetrics {
@@ -134,6 +73,8 @@ void VistIndex::SimulateCrashForTesting() {
 Status VistIndex::InitTrees(bool create) {
   PagerOptions pager_options;
   pager_options.page_size = options_.page_size;
+  pager_options.durability = options_.durability;
+  pager_options.env = options_.env;
   VIST_ASSIGN_OR_RETURN(pager_,
                         Pager::Open(PageFilePath(dir_), pager_options));
   const size_t pool_pages = std::max<size_t>(options_.buffer_pool_pages, 256);
@@ -648,7 +589,8 @@ Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
 }
 
 Status VistIndex::StoreDocumentText(uint64_t doc_id, const std::string& text) {
-  const size_t chunk_size = NodePage::MaxCellSize(options_.page_size) - 64;
+  const size_t chunk_size =
+      NodePage::MaxCellSize(options_.page_size - kPageTrailerSize) - 64;
   uint32_t chunk = 0;
   size_t offset = 0;
   do {

@@ -41,6 +41,14 @@ struct VistOptions {
   /// 16384 x 4 KB = 64 MB, a modest cache by today's standards.
   size_t buffer_pool_pages = 16384;
 
+  /// What a crash may cost (runtime only, not persisted): kProcessCrash
+  /// keeps batches atomic against process crashes; kPowerLoss adds the
+  /// fsync barriers that survive a power cut. See docs/DURABILITY.md.
+  DurabilityLevel durability = DurabilityLevel::kProcessCrash;
+  /// File-system seam for index.db and its journal (runtime only); null
+  /// means Env::Default(). Must outlive the index.
+  Env* env = nullptr;
+
   enum class AllocatorKind {
     kUniform,      // §3.4.1 "without clues": λ-geometric (Eq. 5-6)
     kStatistical,  // §3.4.1 "with clues": follow-set slots (Eq. 1-4)

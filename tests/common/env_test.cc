@@ -1,0 +1,219 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/fault_injection_env.h"
+
+namespace vist {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vist_env_test_" + std::to_string(getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  auto file = env->Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->WriteAt(0, "hello", 5).ok());
+  ASSERT_TRUE((*file)->Append(" world", 6).ok());
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+
+  char buf[16];
+  size_t got = 0;
+  ASSERT_TRUE((*file)->ReadAt(0, buf, sizeof(buf), &got).ok());
+  EXPECT_EQ(std::string(buf, got), "hello world");
+
+  ASSERT_TRUE((*file)->Truncate(5).ok());
+  ASSERT_TRUE((*file)->ReadAt(0, buf, sizeof(buf), &got).ok());
+  EXPECT_EQ(std::string(buf, got), "hello");
+}
+
+TEST_F(EnvTest, ShortReadAtEofIsNotAnError) {
+  Env* env = Env::Default();
+  auto file = env->Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "abc", 3).ok());
+  char buf[8];
+  size_t got = 99;
+  ASSERT_TRUE((*file)->ReadAt(2, buf, sizeof(buf), &got).ok());
+  EXPECT_EQ(got, 1u);
+  got = 99;
+  ASSERT_TRUE((*file)->ReadAt(100, buf, sizeof(buf), &got).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_F(EnvTest, ExistsAndDelete) {
+  Env* env = Env::Default();
+  auto exists = env->FileExists(Path("f"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  { ASSERT_TRUE(env->Open(Path("f"), Env::OpenOptions{}).ok()); }
+  exists = env->FileExists(Path("f"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+  ASSERT_TRUE(env->DeleteFile(Path("f")).ok());
+  exists = env->FileExists(Path("f"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  EXPECT_FALSE(env->DeleteFile(Path("f")).ok());
+}
+
+TEST_F(EnvTest, OpenWithoutCreateFailsOnMissingFile) {
+  Env* env = Env::Default();
+  Env::OpenOptions options;
+  options.create = false;
+  EXPECT_FALSE(env->Open(Path("missing"), options).ok());
+}
+
+TEST_F(EnvTest, SyncDirSucceeds) {
+  EXPECT_TRUE(Env::Default()->SyncDir(dir_.string()).ok());
+}
+
+// --- FaultInjectionEnv ---
+
+TEST_F(EnvTest, FaultEnvCountsOnlyMutations) {
+  FaultInjectionEnv env;
+  auto file = env.Open(Path("f"), Env::OpenOptions{});  // creating: counts
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(env.mutation_count(), 1u);
+  ASSERT_TRUE((*file)->WriteAt(0, "abc", 3).ok());
+  EXPECT_EQ(env.mutation_count(), 2u);
+  char buf[4];
+  size_t got = 0;
+  ASSERT_TRUE((*file)->ReadAt(0, buf, 3, &got).ok());  // read: not counted
+  EXPECT_EQ(env.mutation_count(), 2u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(env.mutation_count(), 3u);
+}
+
+TEST_F(EnvTest, CrashLatchesAllLaterOperations) {
+  FaultInjectionEnv env;
+  auto file = env.Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok());
+  env.set_crash_at_mutation(1);
+  EXPECT_FALSE((*file)->WriteAt(0, "abc", 3).ok());  // the crash itself
+  EXPECT_TRUE(env.crashed());
+  char buf[4];
+  size_t got = 0;
+  EXPECT_FALSE((*file)->ReadAt(0, buf, 3, &got).ok());  // everything after
+  EXPECT_FALSE(env.Open(Path("g"), Env::OpenOptions{}).ok());
+}
+
+TEST_F(EnvTest, TornWriteAppliesPrefix) {
+  FaultInjectionEnv env;
+  auto file = env.Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok());
+  env.set_crash_at_mutation(1, /*torn_bytes=*/3);
+  EXPECT_FALSE((*file)->WriteAt(0, "abcdef", 6).ok());
+
+  Env::OpenOptions ro;
+  ro.create = false;
+  ro.read_only = true;
+  auto peek = Env::Default()->Open(Path("f"), ro);
+  ASSERT_TRUE(peek.ok());
+  char buf[8];
+  size_t got = 0;
+  ASSERT_TRUE((*peek)->ReadAt(0, buf, sizeof(buf), &got).ok());
+  EXPECT_EQ(std::string(buf, got), "abc");
+}
+
+TEST_F(EnvTest, PowerLossRollsBackUnsyncedContent) {
+  FaultInjectionEnv env;
+  auto file = env.Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "durable", 7).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(env.SyncDir(dir_.string()).ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "ephemer", 7).ok());  // never synced
+  file->reset();
+  env.SimulatePowerLoss();
+
+  Env::OpenOptions ro;
+  ro.create = false;
+  ro.read_only = true;
+  auto peek = Env::Default()->Open(Path("f"), ro);
+  ASSERT_TRUE(peek.ok());
+  char buf[8];
+  size_t got = 0;
+  ASSERT_TRUE((*peek)->ReadAt(0, buf, sizeof(buf), &got).ok());
+  EXPECT_EQ(std::string(buf, got), "durable");
+}
+
+TEST_F(EnvTest, PowerLossUnlinksFileCreatedWithoutDirSync) {
+  FaultInjectionEnv env;
+  {
+    auto file = env.Open(Path("f"), Env::OpenOptions{});
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WriteAt(0, "x", 1).ok());
+    ASSERT_TRUE((*file)->Sync().ok());  // content synced, dir entry is not
+  }
+  env.SimulatePowerLoss();
+  auto exists = Env::Default()->FileExists(Path("f"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+TEST_F(EnvTest, PowerLossResurrectsFileDeletedWithoutDirSync) {
+  FaultInjectionEnv env;
+  {
+    auto file = env.Open(Path("f"), Env::OpenOptions{});
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WriteAt(0, "keep", 4).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  ASSERT_TRUE(env.SyncDir(dir_.string()).ok());  // creation is now durable
+  ASSERT_TRUE(env.DeleteFile(Path("f")).ok());   // ... but this is not
+  env.SimulatePowerLoss();
+  auto exists = Env::Default()->FileExists(Path("f"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+}
+
+TEST_F(EnvTest, TransientFaultsExpire) {
+  FaultInjectionEnv env;
+  auto file = env.Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "abc", 3).ok());
+  env.InjectReadFaults(2);
+  char buf[4];
+  size_t got = 0;
+  EXPECT_FALSE((*file)->ReadAt(0, buf, 3, &got).ok());
+  EXPECT_FALSE((*file)->ReadAt(0, buf, 3, &got).ok());
+  EXPECT_TRUE((*file)->ReadAt(0, buf, 3, &got).ok());
+  env.InjectWriteFaults(1);
+  EXPECT_FALSE((*file)->WriteAt(0, "x", 1).ok());
+  EXPECT_TRUE((*file)->WriteAt(0, "x", 1).ok());
+}
+
+TEST_F(EnvTest, BitFlipAppliesToTargetedWrite) {
+  FaultInjectionEnv env;
+  auto file = env.Open(Path("f"), Env::OpenOptions{});
+  ASSERT_TRUE(file.ok());
+  env.FlipBitAtMutation(1, /*offset=*/1, /*mask=*/0x01);
+  ASSERT_TRUE((*file)->WriteAt(0, "ab", 2).ok());
+  char buf[2];
+  size_t got = 0;
+  ASSERT_TRUE((*file)->ReadAt(0, buf, 2, &got).ok());
+  EXPECT_EQ(buf[0], 'a');
+  EXPECT_EQ(buf[1], 'b' ^ 0x01);
+}
+
+}  // namespace
+}  // namespace vist

@@ -54,7 +54,7 @@ TEST_F(CrashRecoveryTest, UncommittedPageWritesRollBack) {
     std::string buf(4096, 0);
     ASSERT_TRUE((*pager)->ReadPage(page, buf.data()).ok());
     EXPECT_EQ(buf[0], 'A') << "uncommitted write survived the crash";
-    EXPECT_EQ(buf[4095], 'A');
+    EXPECT_EQ(buf[(*pager)->usable_page_size() - 1], 'A');
   }
   EXPECT_FALSE(std::filesystem::exists(PagerPath() + ".journal"));
 }

@@ -1,0 +1,260 @@
+// Storage-layer fault-tolerance tests: injected I/O errors, checksum
+// verification, damaged-file handling at open, and the buffer pool's
+// behaviour when the pager underneath it fails.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection_env.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace vist {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vist_fault_test_" + std::to_string(getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "pages.db").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Overwrites `n` bytes at `offset` of the page file on disk.
+  void Stomp(uint64_t offset, const std::string& bytes) {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(f.good());
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(FaultInjectionTest, TransientReadFaultsAreRetried) {
+  FaultInjectionEnv env;
+  PagerOptions opts;
+  opts.env = &env;
+  auto pager = Pager::Open(path_, opts);
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  std::vector<char> buf(opts.page_size, 'A');
+  ASSERT_TRUE((*pager)->WritePage(*id, buf.data()).ok());
+
+  const uint64_t retries_before =
+      obs::GetCounter("storage.io_retries").value();
+  env.InjectReadFaults(2);  // two transients, third attempt succeeds
+  std::vector<char> readback(opts.page_size);
+  EXPECT_TRUE((*pager)->ReadPage(*id, readback.data()).ok());
+  EXPECT_EQ(readback[0], 'A');
+  EXPECT_EQ(obs::GetCounter("storage.io_retries").value() - retries_before,
+            2u);
+}
+
+TEST_F(FaultInjectionTest, PermanentWriteFaultsSurface) {
+  FaultInjectionEnv env;
+  PagerOptions opts;
+  opts.env = &env;
+  auto pager = Pager::Open(path_, opts);
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+
+  env.InjectWriteFaults(-1);
+  std::vector<char> buf(opts.page_size, 'A');
+  Status s = (*pager)->WritePage(*id, buf.data());
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  env.InjectWriteFaults(0);
+  EXPECT_TRUE((*pager)->WritePage(*id, buf.data()).ok());
+  (*pager)->SimulateCrashForTesting();  // skip the destructor's sync
+}
+
+TEST_F(FaultInjectionTest, FlippedBitIsCorruptionNamingPageAndOffset) {
+  PageId page;
+  PagerOptions opts;
+  {
+    auto pager = Pager::Open(path_, opts);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    page = *id;
+    std::vector<char> buf(opts.page_size, 'A');
+    ASSERT_TRUE((*pager)->WritePage(page, buf.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  Stomp(page * opts.page_size + 100, "\x01");
+
+  const uint64_t failures_before =
+      obs::GetCounter("storage.checksum_failures").value();
+  auto pager = Pager::Open(path_, opts);
+  ASSERT_TRUE(pager.ok());
+  std::vector<char> buf(opts.page_size);
+  Status s = (*pager)->ReadPage(page, buf.data());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("page " + std::to_string(page)),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find(std::to_string(page * opts.page_size)),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_GT(obs::GetCounter("storage.checksum_failures").value(),
+            failures_before);
+}
+
+TEST_F(FaultInjectionTest, TruncatedHeaderPageIsCorruption) {
+  { ASSERT_TRUE(Pager::Open(path_, PagerOptions()).ok()); }
+  std::filesystem::resize_file(path_, 100);
+  auto reopened = Pager::Open(path_, PagerOptions());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, ShortFinalPageIsCorruption) {
+  {
+    auto pager = Pager::Open(path_, PagerOptions());
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<char> buf(4096, 'A');
+    ASSERT_TRUE((*pager)->WritePage(*id, buf.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  const uint64_t size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 100);
+  auto reopened = Pager::Open(path_, PagerOptions());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status().ToString();
+  EXPECT_NE(reopened.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, TornNonTailJournalEntryIsCorruption) {
+  PagerOptions opts;
+  PageId a, b;
+  {
+    auto pager = Pager::Open(path_, opts);
+    ASSERT_TRUE(pager.ok());
+    auto ia = (*pager)->AllocatePage();
+    auto ib = (*pager)->AllocatePage();
+    ASSERT_TRUE(ia.ok() && ib.ok());
+    a = *ia;
+    b = *ib;
+    std::vector<char> buf(opts.page_size, 'A');
+    ASSERT_TRUE((*pager)->WritePage(a, buf.data()).ok());
+    ASSERT_TRUE((*pager)->WritePage(b, buf.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+
+    // New batch: both committed pages get journaled, then the process dies
+    // with the journal in place.
+    ASSERT_TRUE((*pager)->WritePage(a, buf.data()).ok());
+    ASSERT_TRUE((*pager)->WritePage(b, buf.data()).ok());
+    (*pager)->SimulateCrashForTesting();
+  }
+  // Mangle the FIRST entry's page image. A damaged entry with valid entries
+  // after it cannot be a torn tail, so recovery must refuse rather than
+  // silently roll back half a batch.
+  const uint64_t journal_header = 8 + 4 + 8 + 8 + 8 * kNumMetaSlots;
+  {
+    std::fstream f(path_ + ".journal",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(journal_header + 8 + 50));
+    f.write("\xFF", 1);
+    ASSERT_TRUE(f.good());
+  }
+  auto reopened = Pager::Open(path_, opts);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status().ToString();
+  EXPECT_NE(reopened.status().message().find("torn"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+// Regression: a dirty frame whose eviction writeback fails must stay intact
+// in the pool (in the page table AND on the LRU list). It used to be popped
+// from the LRU first, so each failed eviction stranded one frame forever and
+// the pool eventually reported itself exhausted.
+TEST_F(FaultInjectionTest, EvictionWritebackFailureDoesNotPoisonPool) {
+  FaultInjectionEnv env;
+  PagerOptions opts;
+  opts.env = &env;
+  auto pager = Pager::Open(path_, opts);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 8);
+
+  // 16 committed pages on disk, first 8 resident and dirty, unpinned.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 16; ++i) {
+    auto ref = pool.New();
+    ASSERT_TRUE(ref.ok());
+    ids.push_back(ref->id());
+    ref->data()[0] = static_cast<char>('A' + i);
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE((*pager)->Sync().ok());
+  for (int i = 0; i < 8; ++i) {
+    auto ref = pool.Fetch(ids[i]);
+    ASSERT_TRUE(ref.ok());
+    ref->data()[1] = 'x';
+    ref->MarkDirty();
+  }
+
+  env.InjectWriteFaults(-1);
+  for (int i = 8; i < 16; ++i) {
+    EXPECT_FALSE(pool.Fetch(ids[i]).ok());  // every eviction writeback fails
+  }
+  env.InjectWriteFaults(0);
+
+  // No frame leaked: the pool can still evict and fault in all 16 pages.
+  for (int i = 0; i < 16; ++i) {
+    auto ref = pool.Fetch(ids[i]);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    EXPECT_EQ(ref->data()[0], static_cast<char>('A' + i));
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE((*pager)->Sync().ok());
+}
+
+// A load failure inside Fetch must not leave a stale entry in the page
+// table either.
+TEST_F(FaultInjectionTest, FetchLoadFailureLeavesNoResidentFrame) {
+  FaultInjectionEnv env;
+  PagerOptions opts;
+  opts.env = &env;
+  auto pager = Pager::Open(path_, opts);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 8);
+  // 9 pages through a capacity-8 pool: the first one gets evicted.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 9; ++i) {
+    auto ref = pool.New();
+    ASSERT_TRUE(ref.ok());
+    ids.push_back(ref->id());
+    ref->data()[0] = static_cast<char>('A' + i);
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE((*pager)->Sync().ok());
+
+  env.InjectReadFaults(3);  // outlasts the pager's 3 attempts
+  EXPECT_FALSE(pool.Fetch(ids[0]).ok());
+  env.InjectReadFaults(0);
+
+  // The failed fetch left nothing behind: fetching again reloads cleanly.
+  auto again = pool.Fetch(ids[0]);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->data()[0], 'A');
+}
+
+}  // namespace
+}  // namespace vist
