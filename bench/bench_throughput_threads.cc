@@ -1,0 +1,267 @@
+// Parallel query serving: queries/sec at 1/2/4/8 threads for ViST and
+// both baselines over the DBLP-like corpus (Table 3 queries Q1-Q5).
+//
+// Each cell runs T threads against one shared index for a fixed wall-time
+// window, every thread looping over the query mix from a different offset;
+// qps is total completed queries over the window. The standard per-query
+// cost columns (EXPERIMENTS.md) come from a profiled single-threaded pass
+// over the same queries. Results print as a table and are written to
+// BENCH_throughput.json in the working directory.
+//
+// Scaling expectations: speedup_vs_1 approaches the smaller of T and the
+// machine's hardware_threads (recorded in the JSON) — on a single-core
+// host every cell lands near 1.0x by construction, since the read path
+// shares one CPU no matter how many threads contend for it.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/node_index.h"
+#include "baseline/path_index.h"
+#include "bench_util.h"
+#include "datagen/dblp_gen.h"
+#include "obs/query_profile.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace bench {
+namespace {
+
+struct QuerySpec {
+  const char* label;
+  const char* path;
+};
+
+// Table 3's DBLP queries (Q6-Q8 are XMARK; one corpus is enough here —
+// the lock shape under test does not depend on the dataset).
+constexpr QuerySpec kQueries[] = {
+    {"Q1", "/inproceedings/title"},
+    {"Q2", "/book/author[text()='David']"},
+    {"Q3", "/*/author[text()='David']"},
+    {"Q4", "//author[text()='David']"},
+    {"Q5", "/book[key='books/bc/MaierW88']/author"},
+};
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kWindowMs = 400;
+
+struct Engines {
+  std::unique_ptr<ScratchDir> scratch;
+  std::unique_ptr<VistIndex> vist;
+  std::unique_ptr<PathIndex> paths;
+  std::unique_ptr<NodeIndex> nodes;
+};
+
+Engines BuildEngines(int records) {
+  Engines engines;
+  engines.scratch = std::make_unique<ScratchDir>("throughput");
+  auto vist_index =
+      VistIndex::Create(engines.scratch->Sub("vist"), VistOptions());
+  CheckOk(vist_index.status(), "create vist");
+  engines.vist = std::move(vist_index).value();
+  SymbolTable* symtab = engines.vist->symbols();
+  auto paths = PathIndex::Create(engines.scratch->Sub("paths"), symtab);
+  CheckOk(paths.status(), "create path index");
+  engines.paths = std::move(paths).value();
+  auto nodes = NodeIndex::Create(engines.scratch->Sub("nodes"), symtab);
+  CheckOk(nodes.status(), "create node index");
+  engines.nodes = std::move(nodes).value();
+
+  DblpGenerator gen{DblpOptions{}};
+  for (int i = 0; i < records; ++i) {
+    xml::Document doc = gen.NextRecord(i);
+    const uint64_t id = i + 1;
+    CheckOk(engines.vist->InsertDocument(*doc.root(), id), "vist insert");
+    Sequence seq = BuildSequence(*doc.root(), symtab);
+    CheckOk(engines.paths->InsertSequence(seq, id), "path insert");
+    CheckOk(engines.nodes->InsertDocument(*doc.root(), id), "node insert");
+  }
+  CheckOk(engines.vist->Flush(), "vist flush");
+  return engines;
+}
+
+/// One engine's query entry point, type-erased for the harness.
+using QueryFn = std::function<Result<std::vector<uint64_t>>(
+    const char* path, obs::QueryProfile* profile)>;
+
+struct QueryCosts {
+  const QuerySpec* spec = nullptr;
+  size_t hits = 0;
+  obs::QueryProfile profile;
+};
+
+struct Cell {
+  int threads = 0;
+  uint64_t total_queries = 0;
+  double qps = 0;
+};
+
+struct EngineReport {
+  const char* name;
+  std::vector<QueryCosts> costs;
+  std::vector<Cell> cells;
+};
+
+/// Profiled single-threaded pass: the per-query cost columns.
+std::vector<QueryCosts> MeasureCosts(const QueryFn& run) {
+  std::vector<QueryCosts> costs;
+  for (const QuerySpec& query : kQueries) {
+    QueryCosts cost;
+    cost.spec = &query;
+    auto ids = run(query.path, &cost.profile);
+    CheckOk(ids.status(), query.path);
+    cost.hits = ids->size();
+    costs.push_back(std::move(cost));
+  }
+  return costs;
+}
+
+/// One throughput cell: T threads loop the query mix for kWindowMs.
+Cell MeasureCell(const QueryFn& run, int threads) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t mine = 0;
+      for (size_t i = t; !stop.load(std::memory_order_acquire); ++i, ++mine) {
+        auto ids = run(kQueries[i % std::size(kQueries)].path, nullptr);
+        CheckOk(ids.status(), "threaded query");
+      }
+      completed.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(kWindowMs));
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  const double elapsed_ms = MillisSince(start);
+
+  Cell cell;
+  cell.threads = threads;
+  cell.total_queries = completed.load();
+  cell.qps = elapsed_ms > 0 ? 1000.0 * cell.total_queries / elapsed_ms : 0;
+  return cell;
+}
+
+EngineReport MeasureEngine(const char* name, const QueryFn& run) {
+  EngineReport report;
+  report.name = name;
+  report.costs = MeasureCosts(run);
+  for (int threads : kThreadCounts) {
+    report.cells.push_back(MeasureCell(run, threads));
+  }
+  return report;
+}
+
+void WriteJson(const std::vector<EngineReport>& reports, int records) {
+  FILE* out = fopen("BENCH_throughput.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "bench: cannot write BENCH_throughput.json\n");
+    return;
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"throughput_threads\",\n");
+  fprintf(out, "  \"dataset\": \"dblp\",\n");
+  fprintf(out, "  \"records\": %d,\n", records);
+  fprintf(out, "  \"hardware_threads\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(out, "  \"window_ms\": %d,\n", kWindowMs);
+  fprintf(out, "  \"engines\": [\n");
+  for (size_t e = 0; e < reports.size(); ++e) {
+    const EngineReport& report = reports[e];
+    fprintf(out, "    {\n      \"engine\": \"%s\",\n", report.name);
+    fprintf(out, "      \"queries\": [\n");
+    for (size_t q = 0; q < report.costs.size(); ++q) {
+      const QueryCosts& cost = report.costs[q];
+      fprintf(out,
+              "        {\"label\": \"%s\", \"path\": \"%s\", \"hits\": %zu, "
+              "\"index_nodes_accessed\": %llu, \"candidates\": %llu, "
+              "\"verified_results\": %llu, \"hit_rate\": %.4f, "
+              "\"range_scans\": %llu, \"joins\": %llu}%s\n",
+              cost.spec->label, cost.spec->path, cost.hits,
+              static_cast<unsigned long long>(
+                  cost.profile.index_nodes_accessed),
+              static_cast<unsigned long long>(cost.profile.candidates),
+              static_cast<unsigned long long>(cost.profile.verified_results),
+              cost.profile.hit_rate(),
+              static_cast<unsigned long long>(cost.profile.range_scans),
+              static_cast<unsigned long long>(cost.profile.joins),
+              q + 1 < report.costs.size() ? "," : "");
+    }
+    fprintf(out, "      ],\n      \"throughput\": [\n");
+    const double base_qps =
+        report.cells.empty() ? 0 : report.cells.front().qps;
+    for (size_t c = 0; c < report.cells.size(); ++c) {
+      const Cell& cell = report.cells[c];
+      fprintf(out,
+              "        {\"threads\": %d, \"total_queries\": %llu, "
+              "\"qps\": %.1f, \"speedup_vs_1\": %.2f}%s\n",
+              cell.threads,
+              static_cast<unsigned long long>(cell.total_queries), cell.qps,
+              base_qps > 0 ? cell.qps / base_qps : 0,
+              c + 1 < report.cells.size() ? "," : "");
+    }
+    fprintf(out, "      ]\n    }%s\n", e + 1 < reports.size() ? "," : "");
+  }
+  fprintf(out, "  ]\n}\n");
+  fclose(out);
+}
+
+void PrintSummary(const std::vector<EngineReport>& reports) {
+  printf("\n=== Parallel query throughput (queries/sec, %d ms windows, "
+         "%u hardware threads) ===\n",
+         kWindowMs, std::thread::hardware_concurrency());
+  printf("%-10s", "engine");
+  for (int threads : kThreadCounts) printf(" %8dT", threads);
+  printf("  speedup 1->4\n");
+  for (const EngineReport& report : reports) {
+    printf("%-10s", report.name);
+    for (const Cell& cell : report.cells) printf(" %9.0f", cell.qps);
+    double speedup = 0;
+    for (const Cell& cell : report.cells) {
+      if (cell.threads == 4 && report.cells.front().qps > 0) {
+        speedup = cell.qps / report.cells.front().qps;
+      }
+    }
+    printf("  %10.2fx\n", speedup);
+  }
+  printf("\nCost columns per query are in BENCH_throughput.json; scaling "
+         "tops out at the hardware thread count above.\n");
+}
+
+void Run() {
+  const int records = Scaled(20000);
+  Engines engines = BuildEngines(records);
+  std::vector<EngineReport> reports;
+  reports.push_back(MeasureEngine(
+      "vist", [&](const char* path, obs::QueryProfile* profile) {
+        QueryOptions options;
+        options.profile = profile;
+        return engines.vist->Query(path, options);
+      }));
+  reports.push_back(MeasureEngine(
+      "path", [&](const char* path, obs::QueryProfile* profile) {
+        return engines.paths->Query(path, profile);
+      }));
+  reports.push_back(MeasureEngine(
+      "node", [&](const char* path, obs::QueryProfile* profile) {
+        return engines.nodes->Query(path, profile);
+      }));
+  WriteJson(reports, records);
+  PrintSummary(reports);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist
+
+int main() {
+  vist::bench::Run();
+  return 0;
+}

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite.
+# Tier-1 verification: configure, build, and run the full test suite, then
+# the sanitizer passes (ASan/UBSan over the fault-tolerance surface, TSan
+# over the concurrent read path). VIST_SKIP_SANITIZERS=1 runs only the
+# plain build + tests.
 # Usage: scripts/check_build.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -9,3 +12,8 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${VIST_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  scripts/check_sanitizers.sh
+  scripts/check_tsan.sh
+fi

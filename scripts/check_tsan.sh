@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the concurrent read path: builds the tree with
+# TSan (VIST_SANITIZE=thread) and runs the concurrency stress suites (label:
+# stress) plus the storage and vist suites, so both the new latching and the
+# pre-existing single-threaded paths are exercised under the race detector.
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVIST_SANITIZE="thread"
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target storage_concurrency_test vist_concurrent_query_test \
+           storage_test vist_test
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R '^(storage_concurrency_test|vist_concurrent_query_test|storage_test|vist_test)$'

@@ -63,6 +63,7 @@ Status NodeIndex::PutRegion(Symbol symbol, const Region& region) {
 }
 
 Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Region labeling: start = preorder rank, end = rank of the last
   // descendant, level = depth. Attribute/text values are labeled as child
   // nodes of their owner (the unified content+structure treatment, so the
@@ -143,8 +144,8 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::FetchAllNames() {
 
 std::vector<NodeIndex::Region> NodeIndex::StructuralJoin(
     const std::vector<Region>& parents, const std::vector<Region>& children,
-    bool parent_child) {
-  ++last_query_joins_;
+    bool parent_child, uint64_t* joins) {
+  ++*joins;
   std::vector<Region> result;
   for (const Region& parent : parents) {
     // Children of interest: same doc, start in (parent.start, parent.end].
@@ -165,7 +166,7 @@ std::vector<NodeIndex::Region> NodeIndex::StructuralJoin(
 }
 
 Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
-    const query::QueryNode& node) {
+    const query::QueryNode& node, uint64_t* joins) {
   using query::QueryNode;
   std::vector<Region> candidates;
   if (node.kind == QueryNode::Kind::kStar) {
@@ -184,21 +185,24 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
             std::vector<Region> values,
             FetchSymbol(SymbolTable::ValueSymbol(child->value)));
         candidates =
-            StructuralJoin(candidates, values, /*parent_child=*/true);
+            StructuralJoin(candidates, values, /*parent_child=*/true, joins);
         break;
       }
       case QueryNode::Kind::kName:
       case QueryNode::Kind::kStar: {
-        VIST_ASSIGN_OR_RETURN(std::vector<Region> kids, EvalStep(*child));
-        candidates = StructuralJoin(candidates, kids, /*parent_child=*/true);
+        VIST_ASSIGN_OR_RETURN(std::vector<Region> kids,
+                              EvalStep(*child, joins));
+        candidates =
+            StructuralJoin(candidates, kids, /*parent_child=*/true, joins);
         break;
       }
       case QueryNode::Kind::kDescendant: {
         // The single target below '//' may sit at any depth.
         for (const auto& target : child->children) {
-          VIST_ASSIGN_OR_RETURN(std::vector<Region> kids, EvalStep(*target));
+          VIST_ASSIGN_OR_RETURN(std::vector<Region> kids,
+                                EvalStep(*target, joins));
           candidates =
-              StructuralJoin(candidates, kids, /*parent_child=*/false);
+              StructuralJoin(candidates, kids, /*parent_child=*/false, joins);
         }
         break;
       }
@@ -217,11 +221,14 @@ Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
     profile->engine = "node_index";
     profile->query = std::string(path);
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   obs::ProfileScope scope(profile);
-  auto result = QueryImpl(path);
-  joins.Increment(last_query_joins_);
+  uint64_t query_joins = 0;
+  auto result = QueryImpl(path, &query_joins);
+  last_query_joins_.store(query_joins, std::memory_order_relaxed);
+  joins.Increment(query_joins);
   if (profile != nullptr) {
-    profile->joins += last_query_joins_;
+    profile->joins += query_joins;
     if (result.ok()) {
       // Structural joins evaluate the query tree exactly, so there is no
       // separate verification stage and the candidates are final.
@@ -232,19 +239,20 @@ Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
   return result;
 }
 
-Result<std::vector<uint64_t>> NodeIndex::QueryImpl(std::string_view path) {
-  last_query_joins_ = 0;
+Result<std::vector<uint64_t>> NodeIndex::QueryImpl(std::string_view path,
+                                                   uint64_t* joins) {
   VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
   VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
 
   std::vector<Region> matches;
   if (tree.root->kind == query::QueryNode::Kind::kDescendant) {
     for (const auto& target : tree.root->children) {
-      VIST_ASSIGN_OR_RETURN(std::vector<Region> some, EvalStep(*target));
+      VIST_ASSIGN_OR_RETURN(std::vector<Region> some,
+                            EvalStep(*target, joins));
       matches.insert(matches.end(), some.begin(), some.end());
     }
   } else {
-    VIST_ASSIGN_OR_RETURN(matches, EvalStep(*tree.root));
+    VIST_ASSIGN_OR_RETURN(matches, EvalStep(*tree.root, joins));
     // Absolute path: the first step must be the document root.
     matches.erase(std::remove_if(matches.begin(), matches.end(),
                                  [](const Region& region) {

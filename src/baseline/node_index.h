@@ -13,7 +13,9 @@
 #ifndef VIST_BASELINE_NODE_INDEX_H_
 #define VIST_BASELINE_NODE_INDEX_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,10 @@ struct NodeIndexOptions {
   Env* env = nullptr;  // null: Env::Default(); must outlive the index
 };
 
+// Threading: same contract as VistIndex (docs/CONCURRENCY.md) so the
+// Table-4 comparison measures index structure, not lock shape — Query runs
+// under a shared lock and may be called from many threads; InsertDocument
+// takes the writer side.
 class NodeIndex {
  public:
   /// Creates an empty node index in `dir`. Names are interned into the
@@ -56,8 +62,12 @@ class NodeIndex {
   Result<std::vector<uint64_t>> Query(std::string_view path,
                                       obs::QueryProfile* profile = nullptr);
 
-  /// Structural joins performed by the last query.
-  uint64_t last_query_joins() const { return last_query_joins_; }
+  /// Structural joins performed by the last query. With concurrent queries
+  /// "last" means the most recently finished; per-query numbers come from
+  /// the QueryProfile, whose joins field is attributed exactly.
+  uint64_t last_query_joins() const {
+    return last_query_joins_.load(std::memory_order_relaxed);
+  }
 
   uint64_t size_bytes() const {
     return pager_->page_count() * pager_->page_size();
@@ -79,24 +89,32 @@ class NodeIndex {
   NodeIndex(SymbolTable* symtab, NodeIndexOptions options)
       : symtab_(symtab), options_(options) {}
 
-  /// Query body; Query wraps it with the metrics/profile accounting.
-  Result<std::vector<uint64_t>> QueryImpl(std::string_view path);
+  /// Query body; Query wraps it with the metrics/profile accounting. The
+  /// join count accumulates into `*joins` (local to the query) so
+  /// concurrent queries don't scribble on one shared member.
+  Result<std::vector<uint64_t>> QueryImpl(std::string_view path,
+                                          uint64_t* joins);
 
   Status PutRegion(Symbol symbol, const Region& region);
   Result<std::vector<Region>> FetchSymbol(Symbol symbol);
   Result<std::vector<Region>> FetchAllNames();
 
-  Result<std::vector<Region>> EvalStep(const query::QueryNode& node);
+  Result<std::vector<Region>> EvalStep(const query::QueryNode& node,
+                                       uint64_t* joins);
   std::vector<Region> StructuralJoin(const std::vector<Region>& parents,
                                      const std::vector<Region>& children,
-                                     bool parent_child);
+                                     bool parent_child, uint64_t* joins);
+
+  /// Readers/writer lock: Query shared, InsertDocument exclusive (same
+  /// shape as VistIndex::mu_, above the storage latches in lock order).
+  mutable std::shared_mutex mu_;
 
   SymbolTable* symtab_;
   NodeIndexOptions options_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> tree_;
-  uint64_t last_query_joins_ = 0;
+  std::atomic<uint64_t> last_query_joins_{0};
 };
 
 }  // namespace vist

@@ -134,6 +134,7 @@ Result<std::unique_ptr<PathIndex>> PathIndex::Create(
 }
 
 Status PathIndex::AddRefinedPath(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   query::CompileOptions compile_options;
   compile_options.max_alternatives = options_.max_alternatives;
   VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
@@ -147,6 +148,7 @@ Status PathIndex::AddRefinedPath(std::string_view path) {
 }
 
 Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::vector<Symbol> path;
   for (const SequenceElement& element : sequence) {
     path = element.prefix;
@@ -158,7 +160,7 @@ Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   // Refined-path maintenance: every registered pattern is evaluated
   // against every inserted document.
   for (const RefinedPath& refined : refined_) {
-    ++refined_maintenance_checks_;
+    refined_maintenance_checks_.fetch_add(1, std::memory_order_relaxed);
     if (query::MatchesAny(refined.compiled, sequence)) {
       VIST_RETURN_IF_ERROR(
           tree_->Put(RefinedPostingKey(refined.id, doc_id), Slice()));
@@ -220,11 +222,14 @@ Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
     profile->engine = "path_index";
     profile->query = std::string(path);
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   obs::ProfileScope scope(profile);
-  auto result = QueryImpl(path);
-  joins.Increment(last_query_joins_);
+  uint64_t query_joins = 0;
+  auto result = QueryImpl(path, &query_joins);
+  last_query_joins_.store(query_joins, std::memory_order_relaxed);
+  joins.Increment(query_joins);
   if (profile != nullptr) {
-    profile->joins += last_query_joins_;
+    profile->joins += query_joins;
     if (result.ok()) {
       // No verification stage: candidates are returned as-is (this baseline
       // joins at doc-id granularity, so they can even be false positives
@@ -236,8 +241,8 @@ Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
   return result;
 }
 
-Result<std::vector<uint64_t>> PathIndex::QueryImpl(std::string_view path) {
-  last_query_joins_ = 0;
+Result<std::vector<uint64_t>> PathIndex::QueryImpl(std::string_view path,
+                                                   uint64_t* joins) {
   // A registered refined path short-circuits to its posting list.
   for (const RefinedPath& refined : refined_) {
     if (refined.pattern != path) continue;
@@ -272,7 +277,7 @@ Result<std::vector<uint64_t>> PathIndex::QueryImpl(std::string_view path) {
       first = false;
     } else {
       // The join Index Fabric needs for every extra branch.
-      ++last_query_joins_;
+      ++*joins;
       std::vector<uint64_t> merged;
       std::set_intersection(result.begin(), result.end(), docs.begin(),
                             docs.end(), std::back_inserter(merged));

@@ -23,7 +23,9 @@
 #ifndef VIST_BASELINE_PATH_INDEX_H_
 #define VIST_BASELINE_PATH_INDEX_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,10 @@ struct PathIndexOptions {
   Env* env = nullptr;  // null: Env::Default(); must outlive the index
 };
 
+// Threading: same contract as VistIndex (docs/CONCURRENCY.md) so the
+// Table-4 comparison measures index structure, not lock shape — Query runs
+// under a shared lock and may be called from many threads; the mutating
+// calls (AddRefinedPath, InsertSequence) take the writer side.
 class PathIndex {
  public:
   /// Creates an empty path index in `dir`. The caller's symbol table is
@@ -77,12 +83,16 @@ class PathIndex {
   /// Refined-path pattern evaluations performed by inserts so far (the
   /// maintenance-cost metric).
   uint64_t refined_maintenance_checks() const {
-    return refined_maintenance_checks_;
+    return refined_maintenance_checks_.load(std::memory_order_relaxed);
   }
 
   /// Number of join (set-intersection) operations the last query used —
-  /// the cost metric the paper's comparison is about.
-  uint64_t last_query_joins() const { return last_query_joins_; }
+  /// the cost metric the paper's comparison is about. With concurrent
+  /// queries "last" means the most recently finished; per-query numbers
+  /// come from the QueryProfile, whose joins field is attributed exactly.
+  uint64_t last_query_joins() const {
+    return last_query_joins_.load(std::memory_order_relaxed);
+  }
 
   uint64_t size_bytes() const {
     return pager_->page_count() * pager_->page_size();
@@ -93,28 +103,35 @@ class PathIndex {
       : symtab_(symtab), options_(options) {}
 
   /// Query body; Query wraps it with the metrics/profile accounting.
-  Result<std::vector<uint64_t>> QueryImpl(std::string_view path);
+  /// Join count goes to `*joins` (local to the query) so concurrent
+  /// queries don't scribble on one shared member.
+  Result<std::vector<uint64_t>> QueryImpl(std::string_view path,
+                                          uint64_t* joins);
 
   /// Doc ids whose documents contain a path matching `pattern` (symbols
   /// with possible kStarSymbol / kDescendantSymbol).
   Result<std::vector<uint64_t>> EvalPathPattern(
       const std::vector<Symbol>& pattern);
 
+  /// Readers/writer lock: Query shared, mutations exclusive (same shape as
+  /// VistIndex::mu_, above the storage-layer latches in the lock order).
+  mutable std::shared_mutex mu_;
+
   const SymbolTable* symtab_;
   PathIndexOptions options_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> tree_;
-  uint64_t max_depth_ = 0;
-  uint64_t last_query_joins_ = 0;
+  uint64_t max_depth_ = 0;  // guarded by mu_
+  std::atomic<uint64_t> last_query_joins_{0};
 
   struct RefinedPath {
     std::string pattern;             // the exact query string
     query::CompiledQuery compiled;   // evaluated against every insert
     uint32_t id = 0;                 // posting-key namespace
   };
-  std::vector<RefinedPath> refined_;
-  uint64_t refined_maintenance_checks_ = 0;
+  std::vector<RefinedPath> refined_;  // guarded by mu_
+  std::atomic<uint64_t> refined_maintenance_checks_{0};
 };
 
 }  // namespace vist

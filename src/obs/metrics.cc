@@ -37,6 +37,11 @@ uint64_t Histogram::ApproxPercentile(double p) const {
   return BucketUpperBound(kNumBuckets - 1);
 }
 
+ThreadStorageCounters& ThisThreadStorageCounters() {
+  thread_local ThreadStorageCounters counters;
+  return counters;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = [] {
     auto* r = new MetricsRegistry();  // leaked: usable until process exit

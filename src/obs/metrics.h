@@ -154,6 +154,25 @@ inline Histogram& GetHistogram(std::string_view name) {
   return MetricsRegistry::Global().GetHistogram(name);
 }
 
+/// Per-thread mirrors of the storage cost counters that query profiles
+/// attribute to individual operations. The global Counters above stay exact
+/// under concurrency, but a delta of two global snapshots taken around *my*
+/// query would also absorb every other thread's work. The storage layer
+/// therefore bumps these thread-locals alongside the global instruments, and
+/// ProfileScope (obs/query_profile.h) diffs them instead — exact
+/// per-operation attribution with no synchronization at all.
+///
+/// The values are cumulative per thread and never reset; consumers subtract
+/// snapshots, same as with Counter.
+struct ThreadStorageCounters {
+  uint64_t btree_node_accesses = 0;
+  uint64_t buffer_pool_hits = 0;
+  uint64_t buffer_pool_misses = 0;
+};
+
+/// The calling thread's counter block (a thread_local; trivially cheap).
+ThreadStorageCounters& ThisThreadStorageCounters();
+
 /// RAII wall-clock timer: records the elapsed microseconds into `hist` on
 /// destruction.
 class ScopedTimer {

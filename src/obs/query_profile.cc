@@ -6,25 +6,6 @@
 
 namespace vist {
 namespace obs {
-namespace {
-
-// The storage-layer counters a per-query delta is computed against. These
-// are the same instruments src/storage registers; GetCounter interns by
-// name, so both sides share one atomic.
-Counter& NodeAccessCounter() {
-  static Counter& counter = GetCounter("storage.btree.node_accesses");
-  return counter;
-}
-Counter& PoolHitCounter() {
-  static Counter& counter = GetCounter("storage.buffer_pool.hits");
-  return counter;
-}
-Counter& PoolMissCounter() {
-  static Counter& counter = GetCounter("storage.buffer_pool.misses");
-  return counter;
-}
-
-}  // namespace
 
 std::string QueryProfile::Dump() const {
   std::ostringstream out;
@@ -50,20 +31,25 @@ std::string QueryProfile::Dump() const {
 
 ProfileScope::ProfileScope(QueryProfile* profile) : profile_(profile) {
   if (profile_ == nullptr) return;
-  start_node_accesses_ = NodeAccessCounter().value();
-  start_pool_hits_ = PoolHitCounter().value();
-  start_pool_misses_ = PoolMissCounter().value();
+  // This thread's mirrors of the storage counters: unlike the global
+  // instruments they are untouched by concurrent queries, so the deltas
+  // below attribute exactly this query's work.
+  const ThreadStorageCounters& counters = ThisThreadStorageCounters();
+  start_node_accesses_ = counters.btree_node_accesses;
+  start_pool_hits_ = counters.buffer_pool_hits;
+  start_pool_misses_ = counters.buffer_pool_misses;
   start_ = std::chrono::steady_clock::now();
 }
 
 void ProfileScope::Finish() {
   if (profile_ == nullptr || finished_) return;
   finished_ = true;
+  const ThreadStorageCounters& counters = ThisThreadStorageCounters();
   profile_->index_nodes_accessed +=
-      NodeAccessCounter().value() - start_node_accesses_;
-  profile_->buffer_pool_hits += PoolHitCounter().value() - start_pool_hits_;
+      counters.btree_node_accesses - start_node_accesses_;
+  profile_->buffer_pool_hits += counters.buffer_pool_hits - start_pool_hits_;
   profile_->buffer_pool_misses +=
-      PoolMissCounter().value() - start_pool_misses_;
+      counters.buffer_pool_misses - start_pool_misses_;
   profile_->wall_ms += std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start_)
                            .count();

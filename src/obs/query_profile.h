@@ -10,11 +10,14 @@
 // and fills it in; Dump() renders a human-readable EXPLAIN block (format
 // documented in docs/OBSERVABILITY.md).
 //
-// Counting works by deltas against the global MetricsRegistry counters that
-// the storage layer already maintains (ProfileScope snapshots them at query
-// start and subtracts at the end). Deltas are exact while the process runs
-// one query at a time — the engines' current single-writer/single-reader
-// contract; concurrent queries would attribute each other's storage work.
+// Counting works by deltas: ProfileScope snapshots the calling thread's
+// mirror of the storage counters (obs::ThisThreadStorageCounters) at query
+// start and subtracts at the end. The storage layer bumps the thread-local
+// mirrors alongside the global MetricsRegistry instruments, so deltas stay
+// exact even when many queries run concurrently on different threads —
+// each scope only ever sees work performed on its own thread. A profile
+// therefore measures the thread it lives on; don't hand one query's
+// ProfileScope work to another thread.
 
 #ifndef VIST_OBS_QUERY_PROFILE_H_
 #define VIST_OBS_QUERY_PROFILE_H_
@@ -74,10 +77,11 @@ struct QueryProfile {
 };
 
 /// RAII helper filling a QueryProfile's storage deltas and wall time:
-/// snapshots the global storage counters at construction and accumulates
+/// snapshots this thread's storage counters at construction and accumulates
 /// the differences into the profile at Finish() (or destruction). A null
 /// profile makes the scope a no-op. Accumulates (+=) rather than assigns,
 /// so one profile can span several scopes (e.g. matching + verification).
+/// Construction and Finish must happen on the same thread.
 class ProfileScope {
  public:
   explicit ProfileScope(QueryProfile* profile);

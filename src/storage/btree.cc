@@ -28,6 +28,14 @@ struct BTreeMetrics {
   }
 };
 
+// node_accesses feeds per-query cost attribution, which must stay exact
+// when queries run concurrently: bump the calling thread's mirror alongside
+// the global counter (obs::ProfileScope diffs the mirror).
+void CountNodeAccess() {
+  BTreeMetrics::Get().node_accesses.Increment();
+  ++obs::ThisThreadStorageCounters().btree_node_accesses;
+}
+
 // Routes `key` within an internal node: returns the child to descend into
 // and sets *child_index to the cell index used (-1 for the leftmost child).
 PageId RouteToChild(const NodePage& np, const Slice& key, int* child_index) {
@@ -70,7 +78,7 @@ Result<PageId> BTree::FindLeaf(const Slice& key,
   BTreeMetrics::Get().seeks.Increment();
   PageId current = root_;
   while (true) {
-    BTreeMetrics::Get().node_accesses.Increment();
+    CountNodeAccess();
     VIST_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
     NodePage np(ref.data(), pager_->usable_page_size());
     if (ref.NeedsValidation()) {
@@ -97,7 +105,7 @@ Status BTree::Put(const Slice& key, const Slice& value) {
   BTreeMetrics::Get().puts.Increment();
   std::vector<PathEntry> path;
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
-  BTreeMetrics::Get().node_accesses.Increment();
+  CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->usable_page_size());
 
@@ -117,7 +125,7 @@ Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
                              const Slice& value, PageId child,
                              std::vector<PathEntry>* path) {
   BTreeMetrics::Get().splits.Increment();
-  BTreeMetrics::Get().node_accesses.Increment();
+  CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef left, pool_->Fetch(page_id));
   NodePage lp(left.data(), pager_->usable_page_size());
   const bool leaf = lp.is_leaf();
@@ -268,7 +276,7 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
 Result<std::string> BTree::Get(const Slice& key) {
   BTreeMetrics::Get().gets.Increment();
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  BTreeMetrics::Get().node_accesses.Increment();
+  CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->usable_page_size());
   int pos = np.LowerBound(key);
@@ -282,7 +290,7 @@ Status BTree::Delete(const Slice& key) {
   BTreeMetrics::Get().deletes.Increment();
   std::vector<PathEntry> path;
   VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
-  BTreeMetrics::Get().node_accesses.Increment();
+  CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->usable_page_size());
   int pos = np.LowerBound(key);
@@ -367,7 +375,7 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
 // Iterator
 
 void BTree::Iterator::LoadLeaf(PageId id) {
-  BTreeMetrics::Get().node_accesses.Increment();
+  CountNodeAccess();
   auto ref = tree_->pool_->Fetch(id);
   if (!ref.ok()) {
     status_ = ref.status();

@@ -8,8 +8,19 @@
 //  * lazy structural deletion: emptied leaves are unlinked and freed, but
 //    underfull pages are not rebalanced (the PostgreSQL nbtree strategy) —
 //    simple, and adequate for the paper's insert-mostly workloads
-//  * single-writer / no-concurrent-reader contract per tree; iterators are
-//    invalidated by any mutation
+//
+// Concurrency contract (docs/CONCURRENCY.md): many concurrent readers OR
+// one writer, enforced by the caller (VistIndex holds a shared_mutex; this
+// class adds no locking of its own). Under that regime the read path —
+// Get, FindLeaf, and range iterators, including several iterators live on
+// one tree from different threads — is safe: readers only pin pages through
+// the (internally latched) BufferPool and never mutate tree state, and the
+// structural-validation pass is idempotent, so two readers validating the
+// same freshly-loaded page concurrently is harmless. Put/Delete mutate
+// pages in place and update root_, so they must be exclusive: iterators are
+// invalidated by any mutation, and a reader overlapping a writer is
+// undefined behavior (torn page views), exactly what the caller's writer
+// lock exists to prevent.
 //
 // Several trees can share one page file: each tree parks its root PageId in
 // a pager metadata slot chosen by the caller.

@@ -24,6 +24,18 @@ struct PoolMetrics {
   }
 };
 
+// Picks the shard count for a pool of `capacity` frames: the largest power
+// of two <= 16 that still leaves every shard at least 64 frames, so the
+// per-shard "all pinned" bound never gets tight enough to fail workloads
+// that a single-shard pool of the same capacity would serve. Small pools
+// (every unit test uses 8-16 frames) collapse to one shard, which preserves
+// the exact global LRU and exhaustion semantics they assert.
+size_t PickShardCount(size_t capacity) {
+  size_t shards = 1;
+  while (shards < 16 && capacity / (shards * 2) >= 64) shards *= 2;
+  return shards;
+}
+
 }  // namespace
 
 using internal_buffer::Frame;
@@ -52,36 +64,88 @@ void PageRef::Release() {
 BufferPool::BufferPool(Pager* pager, size_t capacity)
     : pager_(pager), capacity_(capacity) {
   VIST_CHECK(capacity_ >= 8) << "buffer pool too small to hold a tree path";
+  size_t n = PickShardCount(capacity_);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute capacity evenly; the first shards absorb any remainder.
+    shard->capacity = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() {
   Status s = FlushAll();
   if (!s.ok()) VIST_LOG(Error) << "buffer pool close: " << s.ToString();
-  for (auto& [id, frame] : frames_) {
-    if (frame->pin_count != 0) {
-      VIST_LOG(Error) << "page " << id << " still pinned at pool destruction";
+  size_t resident = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    resident += shard->frames.size();
+    for (auto& [id, frame] : shard->frames) {
+      if (frame->pin_count.load(std::memory_order_relaxed) != 0) {
+        VIST_LOG(Error) << "page " << id
+                        << " still pinned at pool destruction";
+      }
     }
   }
-  PoolMetrics::Get().resident_frames.Add(
-      -static_cast<int64_t>(frames_.size()));
+  PoolMetrics::Get().resident_frames.Add(-static_cast<int64_t>(resident));
+}
+
+BufferPool::Shard& BufferPool::ShardFor(PageId id) {
+  // Fibonacci hashing spreads the sequential ids the pager allocates.
+  uint64_t h = id * UINT64_C(0x9E3779B97F4A7C15);
+  return *shards_[(h >> 56) & (shards_.size() - 1)];
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  VIST_CHECK(frame->pin_count > 0);
-  if (--frame->pin_count == 0) {
-    lru_.push_back(frame);
-    frame->lru_pos = std::prev(lru_.end());
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
+  VIST_CHECK(prev > 0);
+  if (prev == 1) {
+    shard.lru.push_back(frame);
+    frame->lru_pos = std::prev(shard.lru.end());
     frame->in_lru = true;
   }
 }
 
-Status BufferPool::EvictOne() {
-  if (lru_.empty()) {
+void BufferPool::DropFailedPin(Frame* frame) {
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
+  VIST_CHECK(prev > 0);
+  if (prev == 1) {
+    // Failed frames never enter the LRU; the last pin removes them so a
+    // later Fetch retries the read instead of serving garbage.
+    shard.frames.erase(frame->id);
+    PoolMetrics::Get().resident_frames.Add(-1);
+  }
+}
+
+Status BufferPool::ResolveLoad(Frame* frame) {
+  if (frame->load_state.load(std::memory_order_acquire) == Frame::kReady) {
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(frame->load_mu);
+  frame->load_cv.wait(lock, [frame] {
+    return frame->load_state.load(std::memory_order_relaxed) !=
+           Frame::kLoading;
+  });
+  if (frame->load_state.load(std::memory_order_acquire) == Frame::kReady) {
+    return Status::OK();
+  }
+  return frame->load_status;
+}
+
+Status BufferPool::EvictOne(Shard& shard) {
+  if (shard.lru.empty()) {
     return Status::InvalidArgument(
         "buffer pool exhausted: all frames pinned (pin leak?)");
   }
-  Frame* victim = lru_.front();
-  if (victim->dirty) {
+  Frame* victim = shard.lru.front();
+  // Unpinned means no PageRef exists, so nobody can race MarkDirty or a
+  // data mutation with this writeback.
+  if (victim->dirty.load(std::memory_order_relaxed)) {
     PoolMetrics::Get().dirty_writebacks.Increment();
     Status s = pager_->WritePage(victim->id, victim->data.get());
     if (!s.ok()) {
@@ -89,90 +153,150 @@ Status BufferPool::EvictOne() {
       // removing it now would strand a stale frame in the page table.
       return s;
     }
-    victim->dirty = false;
+    victim->dirty.store(false, std::memory_order_relaxed);
   }
-  lru_.pop_front();
+  shard.lru.pop_front();
   victim->in_lru = false;
-  frames_.erase(victim->id);
+  shard.frames.erase(victim->id);
   PoolMetrics::Get().evictions.Increment();
   PoolMetrics::Get().resident_frames.Add(-1);
   return Status::OK();
 }
 
-Result<Frame*> BufferPool::GetFrame(PageId id, bool load) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++hits_;
-    PoolMetrics::Get().hits.Increment();
-    Frame* frame = it->second.get();
-    if (frame->in_lru) {
-      lru_.erase(frame->lru_pos);
-      frame->in_lru = false;
-    }
-    ++frame->pin_count;
-    return frame;
-  }
-  ++misses_;
-  PoolMetrics::Get().misses.Increment();
-  while (frames_.size() >= capacity_) {
-    VIST_RETURN_IF_ERROR(EvictOne());
+Result<Frame*> BufferPool::InstallFrame(Shard& shard, PageId id,
+                                        bool loading) {
+  while (shard.frames.size() >= shard.capacity) {
+    VIST_RETURN_IF_ERROR(EvictOne(shard));
   }
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   frame->data = std::make_unique<char[]>(pager_->page_size());
-  if (load) {
-    Status s = pager_->ReadPage(id, frame->data.get());
-    if (!s.ok()) return s;
-    frame->needs_validation = true;
+  frame->pin_count.store(1, std::memory_order_relaxed);
+  if (loading) {
+    frame->load_state.store(Frame::kLoading, std::memory_order_relaxed);
   } else {
     memset(frame->data.get(), 0, pager_->page_size());
   }
-  frame->pin_count = 1;
   Frame* raw = frame.get();
-  frames_.emplace(id, std::move(frame));
+  shard.frames.emplace(id, std::move(frame));
   PoolMetrics::Get().resident_frames.Add(1);
   return raw;
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
-  VIST_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/true));
+  Shard& shard = ShardFor(id);
+  Frame* frame = nullptr;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      frame = it->second.get();
+      frame->pin_count.fetch_add(1, std::memory_order_relaxed);
+      if (frame->in_lru) {
+        shard.lru.erase(frame->lru_pos);
+        frame->in_lru = false;
+      }
+    } else {
+      // Publish the frame (pinned, kLoading) before the disk read so a
+      // concurrent Fetch of the same page waits on it instead of doing a
+      // second read into a second frame.
+      VIST_ASSIGN_OR_RETURN(frame, InstallFrame(shard, id, /*loading=*/true));
+      loader = true;
+    }
+  }
+
+  auto& thread_counters = obs::ThisThreadStorageCounters();
+  if (!loader) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ++thread_counters.buffer_pool_hits;
+    PoolMetrics::Get().hits.Increment();
+    Status s = ResolveLoad(frame);
+    if (!s.ok()) {
+      DropFailedPin(frame);
+      return s;
+    }
+    return PageRef(this, frame);
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  ++thread_counters.buffer_pool_misses;
+  PoolMetrics::Get().misses.Increment();
+  Status s = pager_->ReadPage(id, frame->data.get());
+  if (s.ok()) {
+    // Order matters for waiters: the validation flag must be visible
+    // before the release-store that declares the frame ready.
+    frame->needs_validation.store(true, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(frame->load_mu);
+    frame->load_status = s;
+    frame->load_state.store(s.ok() ? Frame::kReady : Frame::kFailed,
+                            std::memory_order_release);
+  }
+  frame->load_cv.notify_all();
+  if (!s.ok()) {
+    DropFailedPin(frame);
+    return s;
+  }
   return PageRef(this, frame);
 }
 
 Result<PageRef> BufferPool::New() {
   VIST_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
-  VIST_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/false));
-  frame->dirty = true;
+  Shard& shard = ShardFor(id);
+  Frame* frame = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // A freed-and-reallocated page id must not revive its stale frame;
+    // Free() dropped it, so the id cannot be cached here.
+    VIST_CHECK(shard.frames.find(id) == shard.frames.end());
+    VIST_ASSIGN_OR_RETURN(frame, InstallFrame(shard, id, /*loading=*/false));
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  ++obs::ThisThreadStorageCounters().buffer_pool_misses;
+  PoolMetrics::Get().misses.Increment();
+  frame->dirty.store(true, std::memory_order_relaxed);
   return PageRef(this, frame);
 }
 
 Status BufferPool::Free(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame* frame = it->second.get();
-    if (frame->pin_count != 0) {
-      return Status::InvalidArgument("Free of a pinned page");
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* frame = it->second.get();
+      if (frame->pin_count.load(std::memory_order_relaxed) != 0) {
+        return Status::InvalidArgument("Free of a pinned page");
+      }
+      if (frame->in_lru) shard.lru.erase(frame->lru_pos);
+      shard.frames.erase(it);
+      PoolMetrics::Get().resident_frames.Add(-1);
     }
-    if (frame->in_lru) lru_.erase(frame->lru_pos);
-    frames_.erase(it);
-    PoolMetrics::Get().resident_frames.Add(-1);
   }
   return pager_->FreePage(id);
 }
 
 void BufferPool::SimulateCrashForTesting() {
-  PoolMetrics::Get().resident_frames.Add(
-      -static_cast<int64_t>(frames_.size()));
-  lru_.clear();
-  frames_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    PoolMetrics::Get().resident_frames.Add(
+        -static_cast<int64_t>(shard->frames.size()));
+    shard->lru.clear();
+    shard->frames.clear();
+  }
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    if (frame->dirty) {
-      PoolMetrics::Get().dirty_writebacks.Increment();
-      VIST_RETURN_IF_ERROR(pager_->WritePage(id, frame->data.get()));
-      frame->dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
+      if (frame->dirty.load(std::memory_order_relaxed)) {
+        PoolMetrics::Get().dirty_writebacks.Increment();
+        VIST_RETURN_IF_ERROR(pager_->WritePage(id, frame->data.get()));
+        frame->dirty.store(false, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();

@@ -4,19 +4,54 @@
 // Access pattern: callers Fetch() a page and receive a PageRef — an RAII pin
 // that keeps the frame resident and writable. Dirty frames are written back
 // when evicted or on FlushAll(). The pool is sized in pages; eviction only
-// considers unpinned frames and aborts (programmer error) if every frame is
-// pinned, which would mean a pin leak.
+// considers unpinned frames and reports an error if every frame in the
+// page's shard is pinned, which would mean a pin leak.
+//
+// Threading contract (docs/CONCURRENCY.md): the pool is safe for any number
+// of concurrent Fetch/Release callers. Frame *contents* follow the storage
+// layer's single-writer / multi-reader rule — whoever mutates data() (and
+// calls MarkDirty) must hold the index-level writer lock, so readers never
+// observe a page mid-modification. New/Free/FlushAll are writer-side
+// operations under the same rule.
+//
+// Internal latching, in acquisition order (a thread may only take latches
+// left to right — taking them in any other order risks deadlock):
+//
+//   1. shard mutex   — guards one shard of the page table, its LRU list,
+//                      and pin-count transitions. The table is sharded by
+//                      page id so concurrent readers on disjoint pages do
+//                      not contend; small pools collapse to a single shard.
+//   2. pager mutex   — taken inside Pager::WritePage when eviction writes a
+//                      dirty victim back while the shard mutex is held.
+//   3. frame load latch (Frame::load_mu) — a leaf latch: it is never held
+//                      while acquiring a shard or pager mutex, and never
+//                      held across I/O. The loading thread performs the disk
+//                      read with the frame published in the table in state
+//                      kLoading (pinned, so it cannot be evicted); later
+//                      fetchers of the same page wait on the latch's condvar
+//                      until the load resolves. Publishing the frame before
+//                      the read closes the classic double-lookup race where
+//                      two threads miss on the same page and both read it
+//                      from disk into distinct frames.
+//
+// Pin counts, the dirty and needs-validation flags, and the hit/miss
+// counters are atomics: they are touched on the hot fetch path and by
+// threads that only hold the frame pinned, not the shard mutex.
 
 #ifndef VIST_STORAGE_BUFFER_POOL_H_
 #define VIST_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "storage/pager.h"
 
 namespace vist {
@@ -28,12 +63,27 @@ namespace internal_buffer {
 struct Frame {
   PageId id = kInvalidPageId;
   std::unique_ptr<char[]> data;
-  int pin_count = 0;
-  bool dirty = false;
+
+  /// Pins held on this frame. Transitions that affect LRU membership
+  /// (0 -> 1 and 1 -> 0) happen under the shard mutex; the atomic lets the
+  /// destructor and assertions read it latch-free.
+  std::atomic<int> pin_count{0};
+  std::atomic<bool> dirty{false};
   // Set when the frame was filled from disk and no consumer has validated
-  // its contents yet (cleared via PageRef::MarkValidated).
-  bool needs_validation = false;
-  // Position in the LRU list while unpinned (valid iff pin_count == 0).
+  // its contents yet (cleared via PageRef::MarkValidated). Two readers may
+  // validate the same resident frame concurrently; the work is idempotent.
+  std::atomic<bool> needs_validation{false};
+
+  /// Load handshake. kLoading frames are resident and pinned but their data
+  /// is still being read from disk by one thread; fetchers wait on load_cv.
+  enum LoadState : int { kReady = 0, kLoading = 1, kFailed = 2 };
+  std::atomic<int> load_state{kReady};
+  std::mutex load_mu;               // leaf latch; guards load_status
+  std::condition_variable load_cv;  // signaled when load_state leaves kLoading
+  Status load_status;               // guarded by load_mu
+
+  // Position in the shard's LRU list while unpinned (valid iff in_lru);
+  // guarded by the shard mutex.
   std::list<Frame*>::iterator lru_pos;
   bool in_lru = false;
 };
@@ -58,14 +108,21 @@ class PageRef {
   const char* data() const { return frame_->data.get(); }
 
   /// Marks the page as modified; it will be written back before eviction.
-  void MarkDirty() { frame_->dirty = true; }
+  /// Callers must hold the index-level writer lock (see the file comment).
+  void MarkDirty() {
+    frame_->dirty.store(true, std::memory_order_relaxed);
+  }
 
   /// True when the frame came from disk and has not been validated since.
   /// Callers that structurally check untrusted pages (the B+ tree) do so
   /// only when this is set, then call MarkValidated — once per residence,
-  /// not per fetch.
-  bool NeedsValidation() const { return frame_->needs_validation; }
-  void MarkValidated() { frame_->needs_validation = false; }
+  /// not per fetch (concurrent duplicate validations are harmless).
+  bool NeedsValidation() const {
+    return frame_->needs_validation.load(std::memory_order_relaxed);
+  }
+  void MarkValidated() {
+    frame_->needs_validation.store(false, std::memory_order_relaxed);
+  }
 
   /// Drops the pin early (also done by the destructor).
   void Release();
@@ -81,8 +138,9 @@ class PageRef {
 
 class BufferPool {
  public:
-  /// `capacity` is the maximum number of resident frames. The pager must
-  /// outlive the pool.
+  /// `capacity` is the maximum number of resident frames, divided evenly
+  /// across the internal shards (the pin-leak "pool exhausted" bound is
+  /// therefore per shard). The pager must outlive the pool.
   BufferPool(Pager* pager, size_t capacity);
   ~BufferPool();
 
@@ -90,17 +148,19 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned reference to page `id`, reading it from disk on miss.
+  /// Safe for concurrent callers; concurrent fetches of one absent page
+  /// perform a single disk read.
   Result<PageRef> Fetch(PageId id);
 
   /// Allocates a new page (via the pager), zero-fills it in cache, and
-  /// returns it pinned and dirty.
+  /// returns it pinned and dirty. Writer-side.
   Result<PageRef> New();
 
   /// Frees page `id` in the pager and drops any cached frame. The page must
-  /// not be pinned.
+  /// not be pinned. Writer-side.
   Status Free(PageId id);
 
-  /// Writes back every dirty frame (does not evict).
+  /// Writes back every dirty frame (does not evict). Writer-side.
   Status FlushAll();
 
   /// Test hook: discards every cached frame, dirty or not, as a crashed
@@ -109,23 +169,48 @@ class BufferPool {
   void SimulateCrashForTesting();
 
   size_t capacity() const { return capacity_; }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  size_t shard_count() const { return shards_.size(); }
+  uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class PageRef;
 
-  void Unpin(internal_buffer::Frame* frame);
-  Result<internal_buffer::Frame*> GetFrame(PageId id, bool load);
-  Status EvictOne();
+  using Frame = internal_buffer::Frame;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    // Least-recently-used at the front; only unpinned frames are listed.
+    std::list<Frame*> lru;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(PageId id);
+
+  void Unpin(Frame* frame);
+  /// Drops a pin on a frame whose disk load failed; the last such pin
+  /// removes the frame from the table (it never enters the LRU).
+  void DropFailedPin(Frame* frame);
+  /// Waits out a concurrent load of `frame`, then reports how it resolved.
+  Status ResolveLoad(Frame* frame);
+  /// Creates, pins, and publishes a frame for `id` in `shard` (mutex held),
+  /// evicting as needed. With `loading` the frame is published in state
+  /// kLoading and the caller must complete the load handshake.
+  Result<Frame*> InstallFrame(Shard& shard, PageId id, bool loading);
+  /// Evicts the least-recently-used unpinned frame of `shard` (mutex held),
+  /// writing it back first when dirty.
+  Status EvictOne(Shard& shard);
 
   Pager* pager_;
   size_t capacity_;
-  std::unordered_map<PageId, std::unique_ptr<internal_buffer::Frame>> frames_;
-  // Least-recently-used at the front; only unpinned frames are listed.
-  std::list<internal_buffer::Frame*> lru_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace vist

@@ -200,7 +200,7 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
     // Fresh file: write the initial header.
     VIST_RETURN_IF_ERROR(WriteHeaderRaw(pager->file_.get(),
                                         pager->page_size_,
-                                        pager->page_count_,
+                                        pager->page_count(),
                                         pager->freelist_head_,
                                         pager->meta_slots_));
   } else {
@@ -220,10 +220,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
     }
     VIST_RETURN_IF_ERROR(pager->ReadHeader());
     if (file_size <
-        pager->page_count_ * static_cast<uint64_t>(pager->page_size_)) {
+        pager->page_count() * static_cast<uint64_t>(pager->page_size_)) {
       return Status::Corruption(
           path + " is truncated: header claims " +
-          std::to_string(pager->page_count_) + " pages but the file holds " +
+          std::to_string(pager->page_count()) + " pages but the file holds " +
           std::to_string(file_size) + " bytes");
     }
   }
@@ -326,13 +326,13 @@ Status Pager::EnsureBatch() {
   char header[kJournalHeaderBytes];
   EncodeFixed64LE(header, kJournalMagic);
   EncodeFixed32LE(header + 8, page_size_);
-  EncodeFixed64LE(header + 12, page_count_);
+  EncodeFixed64LE(header + 12, page_count());
   EncodeFixed64LE(header + 20, freelist_head_);
   for (int i = 0; i < kNumMetaSlots; ++i) {
     EncodeFixed64LE(header + 28 + 8 * i, meta_slots_[i]);
   }
   VIST_RETURN_IF_ERROR(journal_->Append(header, sizeof(header)));
-  batch_start_page_count_ = page_count_;
+  batch_start_page_count_ = page_count();
   journaled_.clear();
   in_batch_ = true;
   journal_dirty_ = true;
@@ -375,7 +375,7 @@ Status Pager::SyncJournalForOverwrite(PageId id) {
 }
 
 Status Pager::WriteHeader() {
-  VIST_RETURN_IF_ERROR(WriteHeaderRaw(file_.get(), page_size_, page_count_,
+  VIST_RETURN_IF_ERROR(WriteHeaderRaw(file_.get(), page_size_, page_count(),
                                       freelist_head_, meta_slots_));
   header_dirty_ = false;
   return Status::OK();
@@ -394,7 +394,7 @@ Status Pager::ReadHeader() {
     return Status::Corruption(header.status().message() + " in " + path_);
   }
   page_size_ = header->page_size;
-  page_count_ = header->page_count;
+  page_count_.store(header->page_count, std::memory_order_release);
   freelist_head_ = header->freelist_head;
   for (int i = 0; i < kNumMetaSlots; ++i) {
     meta_slots_[i] = header->meta_slots[i];
@@ -403,7 +403,9 @@ Status Pager::ReadHeader() {
 }
 
 Status Pager::ReadPage(PageId id, char* buf) {
-  if (id == kInvalidPageId || id >= page_count_) {
+  // Deliberately lock-free: pread is an independent system call per caller,
+  // and the bound below is an atomic. See the file comment in pager.h.
+  if (id == kInvalidPageId || id >= page_count()) {
     return Status::InvalidArgument("ReadPage: page id out of range");
   }
   PagerMetrics::Get().page_reads.Increment();
@@ -421,7 +423,12 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
-  if (id == kInvalidPageId || id >= page_count_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageLocked(id, buf);
+}
+
+Status Pager::WritePageLocked(PageId id, const char* buf) {
+  if (id == kInvalidPageId || id >= page_count()) {
     return Status::InvalidArgument("WritePage: page id out of range");
   }
   PagerMetrics::Get().page_writes.Increment();
@@ -436,6 +443,7 @@ Status Pager::WritePage(PageId id, const char* buf) {
 }
 
 Result<PageId> Pager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   VIST_RETURN_IF_ERROR(EnsureBatch());
   header_dirty_ = true;
   PagerMetrics::Get().pages_allocated.Increment();
@@ -447,23 +455,27 @@ Result<PageId> Pager::AllocatePage() {
     std::vector<char> page(page_size_);
     VIST_RETURN_IF_ERROR(ReadPage(id, page.data()));
     freelist_head_ = DecodeFixed64LE(page.data());
-    if (freelist_head_ >= page_count_) {
+    if (freelist_head_ >= page_count()) {
       return Status::Corruption("freelist next pointer " +
                                 std::to_string(freelist_head_) +
                                 " out of range in " + path_);
     }
     return id;
   }
-  PageId id = page_count_++;
+  // Publishing the grown count before the file is extended is safe: no
+  // reader holds a reference to the new id until the caller links it into
+  // a tree, which happens after this returns.
+  PageId id = page_count_.fetch_add(1, std::memory_order_acq_rel);
   // Extend the file so subsequent ReadPage of this id succeeds; WritePage
   // stamps a valid trailer (and skips journaling, as the page is new).
   std::vector<char> zero(page_size_, 0);
-  VIST_RETURN_IF_ERROR(WritePage(id, zero.data()));
+  VIST_RETURN_IF_ERROR(WritePageLocked(id, zero.data()));
   return id;
 }
 
 Status Pager::FreePage(PageId id) {
-  if (id == kInvalidPageId || id >= page_count_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kInvalidPageId || id >= page_count()) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
   PagerMetrics::Get().pages_freed.Increment();
@@ -471,7 +483,7 @@ Status Pager::FreePage(PageId id) {
   // a valid checksum; WritePage journals the pre-image.
   std::vector<char> page(page_size_, 0);
   EncodeFixed64LE(page.data(), freelist_head_);
-  VIST_RETURN_IF_ERROR(WritePage(id, page.data()));
+  VIST_RETURN_IF_ERROR(WritePageLocked(id, page.data()));
   freelist_head_ = id;
   header_dirty_ = true;
   return Status::OK();
@@ -479,11 +491,13 @@ Status Pager::FreePage(PageId id) {
 
 PageId Pager::GetMetaSlot(int slot) const {
   VIST_CHECK(slot >= 0 && slot < kNumMetaSlots);
+  std::lock_guard<std::mutex> lock(mu_);
   return meta_slots_[slot];
 }
 
 void Pager::SetMetaSlot(int slot, PageId id) {
   VIST_CHECK(slot >= 0 && slot < kNumMetaSlots);
+  std::lock_guard<std::mutex> lock(mu_);
   // Starting the batch snapshots the *old* meta values first.
   Status s = EnsureBatch();
   if (!s.ok()) VIST_LOG(Error) << "SetMetaSlot: " << s.ToString();
@@ -492,6 +506,7 @@ void Pager::SetMetaSlot(int slot, PageId id) {
 }
 
 Status Pager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   PagerMetrics::Get().syncs.Increment();
   if (header_dirty_) {
     // The header is a committed page: under kPowerLoss its pre-image (in
@@ -516,6 +531,7 @@ Status Pager::Sync() {
 }
 
 void Pager::SimulateCrashForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
   crashed_ = true;
   file_.reset();
   journal_.reset();

@@ -35,12 +35,25 @@
 //     the journal is findable) before the first overwrite of any committed
 //     page, and the directory is fsynced again when the journal is removed
 //     at commit, closing the power-loss window. See docs/DURABILITY.md.
+//
+// Threading (docs/CONCURRENCY.md): ReadPage is lock-free — positional reads
+// on the underlying file are independent system calls, and the only shared
+// state it touches (the page count bound) is an atomic. Every mutating
+// entry point (WritePage, AllocatePage, FreePage, SetMetaSlot, Sync) and
+// GetMetaSlot serialize on an internal mutex, which protects the freelist,
+// metadata slots, and all journal/batch state; this keeps eviction
+// writebacks issued from concurrent reader threads safe even though index
+// *writes* are additionally serialized by the index-level writer lock. The
+// pager mutex sits below the buffer pool's shard mutexes in the lock order
+// and no pager call ever takes a pool latch, so the order cannot invert.
 
 #ifndef VIST_STORAGE_PAGER_H_
 #define VIST_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -111,6 +124,8 @@ class Pager {
 
   /// Reads page `id` into `buf` (page_size() bytes) and verifies its
   /// checksum; a mismatch is Status::Corruption naming the page and offset.
+  /// Safe to call from any number of threads concurrently with each other
+  /// and with the mutating entry points.
   Status ReadPage(PageId id, char* buf);
   /// Writes page `id` from `buf` (page_size() bytes); the trailer is
   /// stamped by the pager, so the caller's trailer bytes are ignored.
@@ -132,7 +147,9 @@ class Pager {
   uint32_t usable_page_size() const { return page_size_ - kPageTrailerSize; }
   /// Total pages in the file, header included (so also the file size in
   /// pages); used by the index-size experiments.
-  uint64_t page_count() const { return page_count_; }
+  uint64_t page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
   /// Head of the free-page chain (kInvalidPageId when empty); exposed for
   /// the offline checker's freelist walk.
   PageId freelist_head() const { return freelist_head_; }
@@ -156,6 +173,11 @@ class Pager {
   Status WriteHeader();
   Status ReadHeader();
 
+  /// WritePage body; mu_ must be held (AllocatePage/FreePage write pages
+  /// while already holding the mutex, so the public entry point can't be
+  /// reused there).
+  Status WritePageLocked(PageId id, const char* buf);
+
   /// Starts a batch if none is active (snapshot header, create journal).
   Status EnsureBatch();
   /// Appends page `id`'s pre-image to the journal if it both existed at
@@ -176,7 +198,13 @@ class Pager {
   std::string dir_;  // parent directory of path_, for SyncDir
   uint32_t page_size_;
   DurabilityLevel durability_;
-  uint64_t page_count_ = 1;  // header page
+
+  /// Serializes every mutating entry point (and the meta-slot accessors).
+  /// ReadPage does not take it. Everything below is guarded by mu_ except
+  /// page_count_, which is additionally atomic so ReadPage can bounds-check
+  /// without the lock.
+  mutable std::mutex mu_;
+  std::atomic<uint64_t> page_count_{1};  // header page
   PageId freelist_head_ = kInvalidPageId;
   PageId meta_slots_[kNumMetaSlots] = {};
   bool header_dirty_ = false;

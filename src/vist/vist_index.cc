@@ -65,6 +65,7 @@ VistIndex::~VistIndex() {
 }
 
 void VistIndex::SimulateCrashForTesting() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   crashed_ = true;
   pool_->SimulateCrashForTesting();
   pager_->SimulateCrashForTesting();
@@ -199,6 +200,12 @@ Result<bool> VistIndex::FindImmediateChild(const std::string& dkey,
 }
 
 Status VistIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InsertSequenceImpl(sequence, doc_id);
+}
+
+Status VistIndex::InsertSequenceImpl(const Sequence& sequence,
+                                     uint64_t doc_id) {
   if (sequence.empty()) {
     return Status::InvalidArgument("cannot index an empty sequence");
   }
@@ -307,6 +314,7 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
 
 Status VistIndex::BulkLoadSequences(
     const std::vector<std::pair<uint64_t, Sequence>>& documents) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   {
     NodeRecord root;
     VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
@@ -440,8 +448,9 @@ Status VistIndex::BulkLoadSequences(
 }
 
 Status VistIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
-  VIST_RETURN_IF_ERROR(InsertSequence(sequence, doc_id));
+  VIST_RETURN_IF_ERROR(InsertSequenceImpl(sequence, doc_id));
   if (options_.store_documents) {
     VIST_RETURN_IF_ERROR(StoreDocumentText(doc_id, xml::WriteNode(root)));
   }
@@ -515,6 +524,12 @@ Result<bool> VistIndex::TryDelete(const Sequence& sequence, size_t i,
 }
 
 Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return DeleteSequenceImpl(sequence, doc_id);
+}
+
+Status VistIndex::DeleteSequenceImpl(const Sequence& sequence,
+                                     uint64_t doc_id) {
   if (sequence.empty()) {
     return Status::InvalidArgument("cannot delete an empty sequence");
   }
@@ -532,8 +547,9 @@ Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
 }
 
 Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
-  VIST_RETURN_IF_ERROR(DeleteSequence(sequence, doc_id));
+  VIST_RETURN_IF_ERROR(DeleteSequenceImpl(sequence, doc_id));
   if (options_.store_documents) {
     VIST_RETURN_IF_ERROR(DeleteDocumentText(doc_id));
   }
@@ -543,6 +559,13 @@ Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
 Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
     const query::CompiledQuery& compiled, obs::QueryProfile* profile,
     bool collect_doc_ids) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return QueryCompiledImpl(compiled, profile, collect_doc_ids);
+}
+
+Result<std::vector<uint64_t>> VistIndex::QueryCompiledImpl(
+    const query::CompiledQuery& compiled, obs::QueryProfile* profile,
+    bool collect_doc_ids) {
   MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth(),
                        collect_doc_ids};
   return MatchCompiledQuery(context, compiled, profile);
@@ -550,6 +573,7 @@ Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
 
 Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
                                                const QueryOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   VistMetrics::Get().queries.Increment();
   obs::ScopedTimer timer(VistMetrics::Get().query_latency_us);
   obs::QueryProfile* profile = options.profile;
@@ -564,8 +588,9 @@ Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
   VIST_ASSIGN_OR_RETURN(
       query::CompiledQuery compiled,
       query::CompileQuery(tree, symtab_, compile_options));
-  VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
-                        QueryCompiled(compiled, profile));
+  VIST_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> ids,
+      QueryCompiledImpl(compiled, profile, /*collect_doc_ids=*/true));
   if (!options.verify) return ids;
 
   if (!options_.store_documents) {
@@ -577,7 +602,7 @@ Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
   obs::ProfileScope verify_scope(profile);
   std::vector<uint64_t> verified;
   for (uint64_t doc_id : ids) {
-    VIST_ASSIGN_OR_RETURN(std::string text, GetDocument(doc_id));
+    VIST_ASSIGN_OR_RETURN(std::string text, GetDocumentImpl(doc_id));
     VIST_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
     if (VerifyEmbedding(tree, *doc.root())) verified.push_back(doc_id);
   }
@@ -616,6 +641,11 @@ Status VistIndex::DeleteDocumentText(uint64_t doc_id) {
 }
 
 Result<std::string> VistIndex::GetDocument(uint64_t doc_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetDocumentImpl(doc_id);
+}
+
+Result<std::string> VistIndex::GetDocumentImpl(uint64_t doc_id) {
   if (!options_.store_documents) {
     return Status::InvalidArgument("index does not store documents");
   }
@@ -633,6 +663,7 @@ Result<std::string> VistIndex::GetDocument(uint64_t doc_id) {
 }
 
 Result<IndexStats> VistIndex::Stats() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   IndexStats stats;
   stats.size_bytes = pager_->page_count() * pager_->page_size();
   stats.max_depth = max_depth();
@@ -646,6 +677,7 @@ Result<IndexStats> VistIndex::Stats() {
 }
 
 Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   IntegrityReport report;
   auto complain = [&report](std::string problem) {
     if (report.problems.size() < 64) {  // cap the noise on mass damage
@@ -759,6 +791,7 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
 }
 
 Status VistIndex::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   VIST_RETURN_IF_ERROR(symtab_.Save(SymbolsPath(dir_)));
   VIST_RETURN_IF_ERROR(pool_->FlushAll());
   return pager_->Sync();

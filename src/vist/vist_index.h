@@ -12,11 +12,22 @@
 //   auto index = VistIndex::Create(dir, options);
 //   index->InsertDocument(*doc.root(), /*doc_id=*/1);
 //   auto ids = index->Query("/purchase//item[manufacturer='intel']");
+//
+// Threading (docs/CONCURRENCY.md): one VistIndex can be shared across
+// threads. Queries (Query/QueryCompiled/GetDocument/Stats/CheckIntegrity)
+// take an internal reader lock and may run concurrently with each other;
+// mutations (Insert*/Delete*/BulkLoad*/Flush) take the writer side and are
+// serialized, both against each other and against all readers. A query
+// therefore always observes a point between two whole writer operations —
+// never a half-applied insert — and the *durable* snapshot is the state of
+// the last Flush(). The same contract, via the same lock shape, applies to
+// both baseline indexes so concurrent Table-4 comparisons stay fair.
 
 #ifndef VIST_VIST_VIST_INDEX_H_
 #define VIST_VIST_VIST_INDEX_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -179,6 +190,18 @@ class VistIndex {
  private:
   VistIndex(std::string dir, VistOptions options);
 
+  /// Lock-free bodies of the public entry points, for composition: e.g.
+  /// InsertDocument = writer lock + InsertSequenceImpl + StoreDocumentText,
+  /// and Query's verify path reads documents under the shared lock it
+  /// already holds. Callers must hold mu_ (exclusive for mutations, shared
+  /// for reads).
+  Status InsertSequenceImpl(const Sequence& sequence, uint64_t doc_id);
+  Status DeleteSequenceImpl(const Sequence& sequence, uint64_t doc_id);
+  Result<std::vector<uint64_t>> QueryCompiledImpl(
+      const query::CompiledQuery& compiled, obs::QueryProfile* profile,
+      bool collect_doc_ids);
+  Result<std::string> GetDocumentImpl(uint64_t doc_id);
+
   Status InitTrees(bool create);
   Status LoadRootRecord(NodeRecord* record);
   Status WriteRecord(const std::string& entry_key, const NodeRecord& record);
@@ -211,6 +234,11 @@ class VistIndex {
   void set_max_depth(uint64_t d) { pager_->SetMetaSlot(3, d); }
   uint64_t underflow_runs() const { return pager_->GetMetaSlot(4); }
   void set_underflow_runs(uint64_t c) { pager_->SetMetaSlot(4, c); }
+
+  /// Readers/writer lock implementing the contract above: query paths hold
+  /// it shared, mutation paths exclusive. Top of the lock order — acquired
+  /// before any buffer-pool shard or pager mutex, and never the other way.
+  mutable std::shared_mutex mu_;
 
   const std::string dir_;
   VistOptions options_;

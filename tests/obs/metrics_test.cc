@@ -142,20 +142,38 @@ TEST(QueryProfileTest, HitRateConventions) {
 }
 
 TEST(QueryProfileTest, ProfileScopeCapturesDeltas) {
-  Counter& nodes = GetCounter("storage.btree.node_accesses");
+  // ProfileScope diffs the calling thread's counter mirrors (which the
+  // storage layer bumps alongside the global instruments), so deltas stay
+  // exact under concurrent queries.
+  ThreadStorageCounters& counters = ThisThreadStorageCounters();
   QueryProfile profile;
   {
     ProfileScope scope(&profile);
-    nodes.Increment(5);
+    counters.btree_node_accesses += 5;
   }
   EXPECT_EQ(profile.index_nodes_accessed, 5u);
   EXPECT_GE(profile.wall_ms, 0.0);
   // Scopes accumulate into the same profile.
   {
     ProfileScope scope(&profile);
-    nodes.Increment(2);
+    counters.btree_node_accesses += 2;
   }
   EXPECT_EQ(profile.index_nodes_accessed, 7u);
+}
+
+TEST(QueryProfileTest, ProfileScopeIgnoresOtherThreadsWork) {
+  QueryProfile profile;
+  {
+    ProfileScope scope(&profile);
+    ThisThreadStorageCounters().btree_node_accesses += 3;
+    // A concurrent query on another thread bumps its own mirror (and the
+    // shared global instrument); neither may leak into this profile.
+    std::thread([] {
+      ThisThreadStorageCounters().btree_node_accesses += 1000;
+      GetCounter("storage.btree.node_accesses").Increment(1000);
+    }).join();
+  }
+  EXPECT_EQ(profile.index_nodes_accessed, 3u);
 }
 
 TEST(QueryProfileTest, DumpContainsTheCostFields) {
