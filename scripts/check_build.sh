@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite, then
-# the sanitizer passes (ASan/UBSan over the fault-tolerance surface, TSan
-# over the concurrent read path). VIST_SKIP_SANITIZERS=1 runs only the
-# plain build + tests.
+# the static-analysis gate (clang -Wthread-safety build + clang-tidy; skips
+# itself when clang is absent) and the sanitizer passes (ASan/UBSan over the
+# fault-tolerance surface, TSan over the concurrent read path).
+# VIST_SKIP_STATIC=1 skips the static gate; VIST_SKIP_SANITIZERS=1 skips the
+# sanitizer passes.
 # Usage: scripts/check_build.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -12,6 +14,11 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${VIST_SKIP_STATIC:-0}" != "1" ]]; then
+  # exit 77 = clang unavailable on this host; not a failure of the tree.
+  scripts/check_static.sh || { rc=$?; [[ $rc -eq 77 ]] || exit $rc; }
+fi
 
 if [[ "${VIST_SKIP_SANITIZERS:-0}" != "1" ]]; then
   scripts/check_sanitizers.sh

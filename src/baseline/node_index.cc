@@ -63,7 +63,7 @@ Status NodeIndex::PutRegion(Symbol symbol, const Region& region) {
 }
 
 Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   // Region labeling: start = preorder rank, end = rank of the last
   // descendant, level = depth. Attribute/text values are labeled as child
   // nodes of their owner (the unified content+structure treatment, so the
@@ -221,7 +221,7 @@ Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
     profile->engine = "node_index";
     profile->query = std::string(path);
   }
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   obs::ProfileScope scope(profile);
   uint64_t query_joins = 0;
   auto result = QueryImpl(path, &query_joins);

@@ -15,11 +15,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/query_profile.h"
 #include "query/path_expr.h"
 #include "seq/symbol_table.h"
@@ -93,21 +94,24 @@ class NodeIndex {
   /// join count accumulates into `*joins` (local to the query) so
   /// concurrent queries don't scribble on one shared member.
   Result<std::vector<uint64_t>> QueryImpl(std::string_view path,
-                                          uint64_t* joins);
+                                          uint64_t* joins)
+      VIST_REQUIRES_SHARED(mu_);
 
-  Status PutRegion(Symbol symbol, const Region& region);
-  Result<std::vector<Region>> FetchSymbol(Symbol symbol);
-  Result<std::vector<Region>> FetchAllNames();
+  Status PutRegion(Symbol symbol, const Region& region) VIST_REQUIRES(mu_);
+  Result<std::vector<Region>> FetchSymbol(Symbol symbol)
+      VIST_REQUIRES_SHARED(mu_);
+  Result<std::vector<Region>> FetchAllNames() VIST_REQUIRES_SHARED(mu_);
 
   Result<std::vector<Region>> EvalStep(const query::QueryNode& node,
-                                       uint64_t* joins);
+                                       uint64_t* joins)
+      VIST_REQUIRES_SHARED(mu_);
   std::vector<Region> StructuralJoin(const std::vector<Region>& parents,
                                      const std::vector<Region>& children,
                                      bool parent_child, uint64_t* joins);
 
   /// Readers/writer lock: Query shared, InsertDocument exclusive (same
   /// shape as VistIndex::mu_, above the storage latches in lock order).
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
 
   SymbolTable* symtab_;
   NodeIndexOptions options_;

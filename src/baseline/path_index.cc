@@ -134,7 +134,7 @@ Result<std::unique_ptr<PathIndex>> PathIndex::Create(
 }
 
 Status PathIndex::AddRefinedPath(std::string_view path) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   query::CompileOptions compile_options;
   compile_options.max_alternatives = options_.max_alternatives;
   VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
@@ -148,7 +148,7 @@ Status PathIndex::AddRefinedPath(std::string_view path) {
 }
 
 Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   std::vector<Symbol> path;
   for (const SequenceElement& element : sequence) {
     path = element.prefix;
@@ -222,7 +222,7 @@ Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
     profile->engine = "path_index";
     profile->query = std::string(path);
   }
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   obs::ProfileScope scope(profile);
   uint64_t query_joins = 0;
   auto result = QueryImpl(path, &query_joins);

@@ -25,11 +25,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "seq/sequence.h"
@@ -106,23 +107,24 @@ class PathIndex {
   /// Join count goes to `*joins` (local to the query) so concurrent
   /// queries don't scribble on one shared member.
   Result<std::vector<uint64_t>> QueryImpl(std::string_view path,
-                                          uint64_t* joins);
+                                          uint64_t* joins)
+      VIST_REQUIRES_SHARED(mu_);
 
   /// Doc ids whose documents contain a path matching `pattern` (symbols
   /// with possible kStarSymbol / kDescendantSymbol).
   Result<std::vector<uint64_t>> EvalPathPattern(
-      const std::vector<Symbol>& pattern);
+      const std::vector<Symbol>& pattern) VIST_REQUIRES_SHARED(mu_);
 
   /// Readers/writer lock: Query shared, mutations exclusive (same shape as
   /// VistIndex::mu_, above the storage-layer latches in the lock order).
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
 
   const SymbolTable* symtab_;
   PathIndexOptions options_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> tree_;
-  uint64_t max_depth_ = 0;  // guarded by mu_
+  uint64_t max_depth_ VIST_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> last_query_joins_{0};
 
   struct RefinedPath {
@@ -130,7 +132,7 @@ class PathIndex {
     query::CompiledQuery compiled;   // evaluated against every insert
     uint32_t id = 0;                 // posting-key namespace
   };
-  std::vector<RefinedPath> refined_;  // guarded by mu_
+  std::vector<RefinedPath> refined_ VIST_GUARDED_BY(mu_);
   std::atomic<uint64_t> refined_maintenance_checks_{0};
 };
 

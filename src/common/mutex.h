@@ -1,0 +1,133 @@
+// Capability-annotated synchronization wrappers over the standard mutexes.
+//
+// All locking in src/ goes through these types instead of raw std::mutex /
+// std::shared_mutex so Clang's thread-safety analysis (see
+// common/thread_annotations.h and docs/STATIC_ANALYSIS.md) can verify the
+// lock order and the GUARDED_BY contracts at compile time. They are
+// zero-overhead shims: each wraps exactly the std type it replaces and
+// every method is a single forwarded call.
+//
+// Idiom:
+//
+//   class Cache {
+//     ...
+//     mutable Mutex mu_;
+//     std::map<Key, Value> map_ VIST_GUARDED_BY(mu_);
+//   };
+//
+//   void Cache::Put(...) {
+//     MutexLock lock(mu_);   // scoped acquire; analysis knows mu_ is held
+//     map_[k] = v;           // OK; without the lock this fails to compile
+//   }
+//
+// Condition-variable waits use Mutex::Await with a
+// std::condition_variable_any, which keeps the capability held (in the
+// analysis and in fact) across the wait:
+//
+//   MutexLock lock(mu_);
+//   mu_.Await(cv_, [this]() VIST_REQUIRES(mu_) { return ready_; });
+
+#ifndef VIST_COMMON_MUTEX_H_
+#define VIST_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace vist {
+
+/// An exclusive mutex carrying the "mutex" capability.
+class VIST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VIST_ACQUIRE() { mu_.lock(); }
+  void unlock() VIST_RELEASE() { mu_.unlock(); }
+  bool try_lock() VIST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Blocks until `pred()` is true, releasing and reacquiring the mutex
+  /// around each wait on `cv` (which signalers notify after changing the
+  /// predicate's inputs under this mutex). The capability is held whenever
+  /// `pred` runs and when Await returns.
+  template <typename Predicate>
+  void Await(std::condition_variable_any& cv, Predicate pred)
+      VIST_REQUIRES(this) {
+    cv.wait(mu_, std::move(pred));
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// A readers/writer mutex carrying the "shared_mutex" capability.
+class VIST_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() VIST_ACQUIRE() { mu_.lock(); }
+  void unlock() VIST_RELEASE() { mu_.unlock(); }
+  bool try_lock() VIST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() VIST_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() VIST_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() VIST_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard replacement).
+class VIST_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VIST_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VIST_RELEASE_GENERIC() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class VIST_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) VIST_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() VIST_RELEASE_GENERIC() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class VIST_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) VIST_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() VIST_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_MUTEX_H_

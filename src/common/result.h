@@ -14,8 +14,11 @@ namespace vist {
 /// Holds either a T (when `status().ok()`) or an error Status. Accessing the
 /// value of an error Result aborts the process with the status message, so
 /// callers must check `ok()` first (enforced in tests and debug builds alike).
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error (see docs/STATIC_ANALYSIS.md).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return some_t;`.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -27,7 +27,13 @@ enum class StatusCode {
 
 /// A cheap, copyable success-or-error value. `Status::OK()` carries no
 /// allocation; error statuses carry a code and a message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors disappear,
+/// so every function returning one must have its result checked (enforced
+/// as an error for src/ targets; see docs/STATIC_ANALYSIS.md). The rare
+/// site where discarding is genuinely correct calls IgnoreError(), below,
+/// with a comment — never a bare (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,6 +85,12 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// The one sanctioned way to discard a Status: a named, greppable sink for
+/// sites where no handling is possible or useful (e.g. best-effort cleanup
+/// on a path that is already reporting a different error). Every call site
+/// carries a comment saying why the error is unactionable there.
+inline void IgnoreError(const Status&) {}
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing
 /// function if it is not OK. The workhorse of error propagation.

@@ -1,0 +1,87 @@
+// Clang thread-safety-analysis attribute macros (the Abseil/LLVM idiom).
+//
+// These annotations turn the locking rules documented in
+// docs/CONCURRENCY.md into compiler-checked invariants: a field declared
+// VIST_GUARDED_BY(mu_) cannot be touched without holding `mu_`, a method
+// declared VIST_REQUIRES(mu_) cannot be called without it, and the RAII
+// guards in common/mutex.h tell the analysis exactly which scopes hold
+// which capability. Violations are diagnosed by Clang's -Wthread-safety
+// (escalated to errors by scripts/check_static.sh); under GCC and other
+// compilers every macro expands to nothing, so the annotations cost
+// nothing where they cannot be checked.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// How to annotate new code: docs/STATIC_ANALYSIS.md.
+
+#ifndef VIST_COMMON_THREAD_ANNOTATIONS_H_
+#define VIST_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define VIST_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define VIST_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define VIST_CAPABILITY(x) VIST_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock / ReaderLock / WriterLock).
+#define VIST_SCOPED_CAPABILITY VIST_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member may only be accessed while holding `x`.
+#define VIST_GUARDED_BY(x) VIST_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member may only be
+/// accessed while holding `x` (the pointer itself is unguarded).
+#define VIST_PT_GUARDED_BY(x) VIST_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function-level contracts: the caller must hold the capability
+/// exclusively / shared before calling.
+#define VIST_REQUIRES(...) \
+  VIST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define VIST_REQUIRES_SHARED(...) \
+  VIST_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and does
+/// not release it before returning.
+#define VIST_ACQUIRE(...) \
+  VIST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define VIST_ACQUIRE_SHARED(...) \
+  VIST_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds. The _GENERIC form
+/// releases however it was held (used by scoped-guard destructors that may
+/// hold either mode).
+#define VIST_RELEASE(...) \
+  VIST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define VIST_RELEASE_SHARED(...) \
+  VIST_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define VIST_RELEASE_GENERIC(...) \
+  VIST_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define VIST_TRY_ACQUIRE(ret, ...) \
+  VIST_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+#define VIST_TRY_ACQUIRE_SHARED(ret, ...) \
+  VIST_THREAD_ANNOTATION_(try_acquire_shared_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the capability (the function acquires it
+/// internally; calling with it held would self-deadlock).
+#define VIST_EXCLUDES(...) VIST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the capability is held.
+#define VIST_ASSERT_CAPABILITY(x) \
+  VIST_THREAD_ANNOTATION_(assert_capability(x))
+#define VIST_ASSERT_SHARED_CAPABILITY(x) \
+  VIST_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability.
+#define VIST_RETURN_CAPABILITY(x) VIST_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Every use needs a
+/// comment explaining why the contract cannot be expressed.
+#define VIST_NO_THREAD_SAFETY_ANALYSIS \
+  VIST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // VIST_COMMON_THREAD_ANNOTATIONS_H_

@@ -60,7 +60,6 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 void MetricsRegistry::CheckNameFree(std::string_view name,
                                     const char* kind) const {
-  // mu_ is held by the caller.
   const bool taken = counters_.find(name) != counters_.end() ||
                      gauges_.find(name) != gauges_.end() ||
                      histograms_.find(name) != histograms_.end();
@@ -69,7 +68,7 @@ void MetricsRegistry::CheckNameFree(std::string_view name,
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   CheckNameFree(name, "counter");
@@ -79,7 +78,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   CheckNameFree(name, "gauge");
@@ -89,7 +88,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   CheckNameFree(name, "histogram");
@@ -99,7 +98,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, unused] : counters_) names.push_back(name);
@@ -110,7 +109,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 std::string MetricsRegistry::DumpString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
     out << "counter   " << name << " = " << counter->value() << "\n";

@@ -30,10 +30,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace vist {
 namespace obs {
@@ -135,12 +137,16 @@ class MetricsRegistry {
   std::string DumpString() const;
 
  private:
-  void CheckNameFree(std::string_view name, const char* kind) const;
+  void CheckNameFree(std::string_view name, const char* kind) const
+      VIST_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      VIST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      VIST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      VIST_GUARDED_BY(mu_);
 };
 
 /// Shorthands for the common case of registering with the global registry.

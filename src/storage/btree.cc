@@ -60,7 +60,7 @@ Result<std::unique_ptr<BTree>> BTree::Create(Pager* pager, BufferPool* pool,
   NodePage np(root.data(), pager->usable_page_size());
   np.Init(kLeafPage);
   root.MarkDirty();
-  pager->SetMetaSlot(meta_slot, root.id());
+  VIST_RETURN_IF_ERROR(pager->SetMetaSlot(meta_slot, root.id()));
   return std::unique_ptr<BTree>(new BTree(pager, pool, meta_slot, root.id()));
 }
 
@@ -257,8 +257,7 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
     np.set_next(left_id);
     VIST_CHECK(np.InsertInternal(0, sep, right_id));
     root.MarkDirty();
-    SetRoot(root.id());
-    return Status::OK();
+    return SetRoot(root.id());
   }
   PathEntry entry = path->back();
   path->pop_back();
@@ -354,7 +353,7 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
     parent.Release();
     if (path->empty()) {
       VIST_CHECK(entry.page == root_);
-      SetRoot(sole_child);
+      VIST_RETURN_IF_ERROR(SetRoot(sole_child));
       return pool_->Free(entry.page);
     }
     PathEntry gp = path->back();

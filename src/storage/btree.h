@@ -132,9 +132,13 @@ class BTree {
   /// its reference from ancestors (collapsing emptied internals).
   Status RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path);
 
-  void SetRoot(PageId root) {
+  /// Points the tree at a new root page. root_ is updated even when
+  /// persisting the slot fails — the new root's pages are already written,
+  /// so the in-memory tree must follow them; the caller aborts the
+  /// operation with the returned error and the change dies with the batch.
+  Status SetRoot(PageId root) {
     root_ = root;
-    pager_->SetMetaSlot(meta_slot_, root);
+    return pager_->SetMetaSlot(meta_slot_, root);
   }
 
   Pager* pager_;

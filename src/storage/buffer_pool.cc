@@ -79,7 +79,7 @@ BufferPool::~BufferPool() {
   if (!s.ok()) VIST_LOG(Error) << "buffer pool close: " << s.ToString();
   size_t resident = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     resident += shard->frames.size();
     for (auto& [id, frame] : shard->frames) {
       if (frame->pin_count.load(std::memory_order_relaxed) != 0) {
@@ -99,7 +99,7 @@ BufferPool::Shard& BufferPool::ShardFor(PageId id) {
 
 void BufferPool::Unpin(Frame* frame) {
   Shard& shard = ShardFor(frame->id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
   VIST_CHECK(prev > 0);
   if (prev == 1) {
@@ -111,7 +111,7 @@ void BufferPool::Unpin(Frame* frame) {
 
 void BufferPool::DropFailedPin(Frame* frame) {
   Shard& shard = ShardFor(frame->id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   int prev = frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
   VIST_CHECK(prev > 0);
   if (prev == 1) {
@@ -126,8 +126,8 @@ Status BufferPool::ResolveLoad(Frame* frame) {
   if (frame->load_state.load(std::memory_order_acquire) == Frame::kReady) {
     return Status::OK();
   }
-  std::unique_lock<std::mutex> lock(frame->load_mu);
-  frame->load_cv.wait(lock, [frame] {
+  MutexLock lock(frame->load_mu);
+  frame->load_mu.Await(frame->load_cv, [frame] {
     return frame->load_state.load(std::memory_order_relaxed) !=
            Frame::kLoading;
   });
@@ -188,7 +188,7 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   Frame* frame = nullptr;
   bool loader = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
       frame = it->second.get();
@@ -229,7 +229,7 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
     frame->needs_validation.store(true, std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(frame->load_mu);
+    MutexLock lock(frame->load_mu);
     frame->load_status = s;
     frame->load_state.store(s.ok() ? Frame::kReady : Frame::kFailed,
                             std::memory_order_release);
@@ -247,7 +247,7 @@ Result<PageRef> BufferPool::New() {
   Shard& shard = ShardFor(id);
   Frame* frame = nullptr;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     // A freed-and-reallocated page id must not revive its stale frame;
     // Free() dropped it, so the id cannot be cached here.
     VIST_CHECK(shard.frames.find(id) == shard.frames.end());
@@ -263,7 +263,7 @@ Result<PageRef> BufferPool::New() {
 Status BufferPool::Free(PageId id) {
   Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
       Frame* frame = it->second.get();
@@ -280,7 +280,7 @@ Status BufferPool::Free(PageId id) {
 
 void BufferPool::SimulateCrashForTesting() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     PoolMetrics::Get().resident_frames.Add(
         -static_cast<int64_t>(shard->frames.size()));
     shard->lru.clear();
@@ -290,7 +290,7 @@ void BufferPool::SimulateCrashForTesting() {
 
 Status BufferPool::FlushAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto& [id, frame] : shard->frames) {
       if (frame->dirty.load(std::memory_order_relaxed)) {
         PoolMetrics::Get().dirty_writebacks.Increment();

@@ -46,12 +46,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/pager.h"
 
 namespace vist {
@@ -78,9 +79,11 @@ struct Frame {
   /// is still being read from disk by one thread; fetchers wait on load_cv.
   enum LoadState : int { kReady = 0, kLoading = 1, kFailed = 2 };
   std::atomic<int> load_state{kReady};
-  std::mutex load_mu;               // leaf latch; guards load_status
-  std::condition_variable load_cv;  // signaled when load_state leaves kLoading
-  Status load_status;               // guarded by load_mu
+  Mutex load_mu;  // leaf latch
+  // Signaled when load_state leaves kLoading (any-lock flavor so waits can
+  // keep the annotated mutex capability; see Mutex::Await).
+  std::condition_variable_any load_cv;
+  Status load_status VIST_GUARDED_BY(load_mu);
 
   // Position in the shard's LRU list while unpinned (valid iff in_lru);
   // guarded by the shard mutex.
@@ -183,11 +186,12 @@ class BufferPool {
   using Frame = internal_buffer::Frame;
 
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    Mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames
+        VIST_GUARDED_BY(mu);
     // Least-recently-used at the front; only unpinned frames are listed.
-    std::list<Frame*> lru;
-    size_t capacity = 0;
+    std::list<Frame*> lru VIST_GUARDED_BY(mu);
+    size_t capacity = 0;  // fixed after construction
   };
 
   Shard& ShardFor(PageId id);
@@ -201,10 +205,13 @@ class BufferPool {
   /// Creates, pins, and publishes a frame for `id` in `shard` (mutex held),
   /// evicting as needed. With `loading` the frame is published in state
   /// kLoading and the caller must complete the load handshake.
-  Result<Frame*> InstallFrame(Shard& shard, PageId id, bool loading);
+  Result<Frame*> InstallFrame(Shard& shard, PageId id, bool loading)
+      VIST_REQUIRES(shard.mu);
   /// Evicts the least-recently-used unpinned frame of `shard` (mutex held),
-  /// writing it back first when dirty.
-  Status EvictOne(Shard& shard);
+  /// writing it back first when dirty. Acquires the pager mutex (inside
+  /// Pager::WritePage) below the shard mutex — the one annotated site that
+  /// exercises the shard -> pager edge of the lock order.
+  Status EvictOne(Shard& shard) VIST_REQUIRES(shard.mu);
 
   Pager* pager_;
   size_t capacity_;

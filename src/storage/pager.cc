@@ -196,6 +196,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
 
   std::unique_ptr<Pager> pager(
       new Pager(env, std::move(file), path, options));
+  // The object is not yet shared, but the guarded header fields are read
+  // and written below; holding the (uncontended) mutex keeps the locking
+  // contract uniform for the thread-safety analysis.
+  MutexLock lock(pager->mu_);
   if (file_size == 0) {
     // Fresh file: write the initial header.
     VIST_RETURN_IF_ERROR(WriteHeaderRaw(pager->file_.get(),
@@ -423,7 +427,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return WritePageLocked(id, buf);
 }
 
@@ -443,7 +447,7 @@ Status Pager::WritePageLocked(PageId id, const char* buf) {
 }
 
 Result<PageId> Pager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   VIST_RETURN_IF_ERROR(EnsureBatch());
   header_dirty_ = true;
   PagerMetrics::Get().pages_allocated.Increment();
@@ -474,7 +478,7 @@ Result<PageId> Pager::AllocatePage() {
 }
 
 Status Pager::FreePage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id == kInvalidPageId || id >= page_count()) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
@@ -491,22 +495,24 @@ Status Pager::FreePage(PageId id) {
 
 PageId Pager::GetMetaSlot(int slot) const {
   VIST_CHECK(slot >= 0 && slot < kNumMetaSlots);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return meta_slots_[slot];
 }
 
-void Pager::SetMetaSlot(int slot, PageId id) {
+Status Pager::SetMetaSlot(int slot, PageId id) {
   VIST_CHECK(slot >= 0 && slot < kNumMetaSlots);
-  std::lock_guard<std::mutex> lock(mu_);
-  // Starting the batch snapshots the *old* meta values first.
-  Status s = EnsureBatch();
-  if (!s.ok()) VIST_LOG(Error) << "SetMetaSlot: " << s.ToString();
+  MutexLock lock(mu_);
+  // Starting the batch snapshots the *old* meta values first; if that
+  // fails the mutation must not happen, or a later successful batch would
+  // snapshot (and "roll back" to) the already-mutated slot.
+  VIST_RETURN_IF_ERROR(EnsureBatch());
   meta_slots_[slot] = id;
   header_dirty_ = true;
+  return Status::OK();
 }
 
 Status Pager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PagerMetrics::Get().syncs.Increment();
   if (header_dirty_) {
     // The header is a committed page: under kPowerLoss its pre-image (in
@@ -531,7 +537,7 @@ Status Pager::Sync() {
 }
 
 void Pager::SimulateCrashForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   crashed_ = true;
   file_.reset();
   journal_.reset();

@@ -53,13 +53,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace vist {
 
@@ -129,17 +130,20 @@ class Pager {
   Status ReadPage(PageId id, char* buf);
   /// Writes page `id` from `buf` (page_size() bytes); the trailer is
   /// stamped by the pager, so the caller's trailer bytes are ignored.
-  Status WritePage(PageId id, const char* buf);
+  Status WritePage(PageId id, const char* buf) VIST_EXCLUDES(mu_);
 
   /// Returns a fresh page id, reusing a freed page when available. The
   /// page's previous contents are unspecified; callers initialize it.
-  Result<PageId> AllocatePage();
+  Result<PageId> AllocatePage() VIST_EXCLUDES(mu_);
   /// Returns page `id` to the freelist.
-  Status FreePage(PageId id);
+  Status FreePage(PageId id) VIST_EXCLUDES(mu_);
 
-  /// User metadata slots (persisted in the header on Sync/close).
-  PageId GetMetaSlot(int slot) const;
-  void SetMetaSlot(int slot, PageId id);
+  /// User metadata slots (persisted in the header on Sync/close). A failed
+  /// SetMetaSlot leaves the slot unchanged: the batch's journal snapshot
+  /// could not be taken, so applying the mutation anyway would commit a
+  /// change whose pre-image is unrecoverable after a crash.
+  PageId GetMetaSlot(int slot) const VIST_EXCLUDES(mu_);
+  Status SetMetaSlot(int slot, PageId id) VIST_EXCLUDES(mu_);
 
   uint32_t page_size() const { return page_size_; }
   /// Bytes per page available to callers (page_size minus the checksum
@@ -152,40 +156,43 @@ class Pager {
   }
   /// Head of the free-page chain (kInvalidPageId when empty); exposed for
   /// the offline checker's freelist walk.
-  PageId freelist_head() const { return freelist_head_; }
+  PageId freelist_head() const VIST_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return freelist_head_;
+  }
 
   DurabilityLevel durability() const { return durability_; }
 
   /// Commits the current batch: flushes the header, fdatasyncs the file,
   /// and discards the rollback journal. State as of this call survives a
   /// crash (of the kind the durability level covers).
-  Status Sync();
+  Status Sync() VIST_EXCLUDES(mu_);
 
   /// Test hook: drops the file handles without committing, as a crashed
   /// process would. The pager is unusable afterwards; reopening the path
   /// rolls back to the last Sync().
-  void SimulateCrashForTesting();
+  void SimulateCrashForTesting() VIST_EXCLUDES(mu_);
 
  private:
   Pager(Env* env, std::unique_ptr<File> file, std::string path,
         const PagerOptions& options);
 
-  Status WriteHeader();
-  Status ReadHeader();
+  Status WriteHeader() VIST_REQUIRES(mu_);
+  Status ReadHeader() VIST_REQUIRES(mu_);
 
   /// WritePage body; mu_ must be held (AllocatePage/FreePage write pages
   /// while already holding the mutex, so the public entry point can't be
   /// reused there).
-  Status WritePageLocked(PageId id, const char* buf);
+  Status WritePageLocked(PageId id, const char* buf) VIST_REQUIRES(mu_);
 
   /// Starts a batch if none is active (snapshot header, create journal).
-  Status EnsureBatch();
+  Status EnsureBatch() VIST_REQUIRES(mu_);
   /// Appends page `id`'s pre-image to the journal if it both existed at
   /// batch start and has not been journaled yet.
-  Status JournalPage(PageId id);
+  Status JournalPage(PageId id) VIST_REQUIRES(mu_);
   /// kPowerLoss barrier: before overwriting committed page `id`, make the
   /// journal (and its directory entry) durable.
-  Status SyncJournalForOverwrite(PageId id);
+  Status SyncJournalForOverwrite(PageId id) VIST_REQUIRES(mu_);
   /// Applies a leftover journal (crash recovery); called from Open.
   static Status RecoverFromJournal(Env* env, File* file,
                                    const std::string& path,
@@ -203,20 +210,22 @@ class Pager {
   /// ReadPage does not take it. Everything below is guarded by mu_ except
   /// page_count_, which is additionally atomic so ReadPage can bounds-check
   /// without the lock.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<uint64_t> page_count_{1};  // header page
-  PageId freelist_head_ = kInvalidPageId;
-  PageId meta_slots_[kNumMetaSlots] = {};
-  bool header_dirty_ = false;
-  bool crashed_ = false;
+  PageId freelist_head_ VIST_GUARDED_BY(mu_) = kInvalidPageId;
+  PageId meta_slots_[kNumMetaSlots] VIST_GUARDED_BY(mu_) = {};
+  bool header_dirty_ VIST_GUARDED_BY(mu_) = false;
+  bool crashed_ VIST_GUARDED_BY(mu_) = false;
 
-  std::unique_ptr<File> journal_;
-  bool in_batch_ = false;
-  bool journal_dirty_ = false;      // appended since last journal fsync
-  bool journal_dir_synced_ = false;  // dir fsynced since journal creation
-  uint64_t batch_start_page_count_ = 0;
-  std::set<PageId> journaled_;
-  std::string write_scratch_;  // trailer-stamping buffer for WritePage
+  std::unique_ptr<File> journal_ VIST_GUARDED_BY(mu_);
+  bool in_batch_ VIST_GUARDED_BY(mu_) = false;
+  // Appended since last journal fsync / dir fsynced since journal creation.
+  bool journal_dirty_ VIST_GUARDED_BY(mu_) = false;
+  bool journal_dir_synced_ VIST_GUARDED_BY(mu_) = false;
+  uint64_t batch_start_page_count_ VIST_GUARDED_BY(mu_) = 0;
+  std::set<PageId> journaled_ VIST_GUARDED_BY(mu_);
+  // Trailer-stamping buffer for WritePage.
+  std::string write_scratch_ VIST_GUARDED_BY(mu_);
 };
 
 }  // namespace vist

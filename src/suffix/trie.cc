@@ -6,8 +6,8 @@ namespace vist {
 
 SequenceTrie::SequenceTrie() : root_(std::make_unique<TrieNode>()) {}
 
-TrieNode* TrieNode::FindChild(const SequenceElement& element) const {
-  auto it = child_by_key.find(EncodeDKey(element.symbol, element.prefix));
+TrieNode* TrieNode::FindChild(const SequenceElement& elem) const {
+  auto it = child_by_key.find(EncodeDKey(elem.symbol, elem.prefix));
   if (it == child_by_key.end()) return nullptr;
   return children[it->second].get();
 }

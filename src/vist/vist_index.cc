@@ -65,7 +65,7 @@ VistIndex::~VistIndex() {
 }
 
 void VistIndex::SimulateCrashForTesting() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   crashed_ = true;
   pool_->SimulateCrashForTesting();
   pager_->SimulateCrashForTesting();
@@ -132,12 +132,18 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Create(
   }
   VIST_RETURN_IF_ERROR(index->InitTrees(/*create=*/true));
 
-  // The virtual root: owns the whole label space, label 0 unused.
-  NodeRecord root;
-  root.n = 0;
-  root.size = kMaxScope;
-  index->allocator_->InitRecord(&root);
-  VIST_RETURN_IF_ERROR(index->WriteRecord(index->root_key_, root));
+  // The virtual root: owns the whole label space, label 0 unused. The
+  // index is not shared yet, but WriteRecord's locking contract is
+  // compiler-checked, so take the (uncontended) writer lock; Flush
+  // acquires it itself.
+  {
+    NodeRecord root;
+    root.n = 0;
+    root.size = kMaxScope;
+    index->allocator_->InitRecord(&root);
+    WriterLock lock(index->mu_);
+    VIST_RETURN_IF_ERROR(index->WriteRecord(index->root_key_, root));
+  }
   VIST_RETURN_IF_ERROR(index->Flush());
   return index;
 }
@@ -200,7 +206,7 @@ Result<bool> VistIndex::FindImmediateChild(const std::string& dkey,
 }
 
 Status VistIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   return InsertSequenceImpl(sequence, doc_id);
 }
 
@@ -261,8 +267,7 @@ Status VistIndex::InsertSequenceImpl(const Sequence& sequence,
   for (const SequenceElement& elem : sequence) {
     depth = std::max<uint64_t>(depth, elem.prefix.size());
   }
-  set_max_depth(depth);
-  return Status::OK();
+  return set_max_depth(depth);
 }
 
 Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
@@ -284,7 +289,7 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
     const uint64_t run_lo = ancestor.record.seq_cursor - run_len;
     ancestor.record.seq_cursor = run_lo;
     ancestor.dirty = true;
-    set_underflow_runs(underflow_runs() + 1);
+    VIST_RETURN_IF_ERROR(set_underflow_runs(underflow_runs() + 1));
     VistMetrics::Get().underflow_runs.Increment();
 
     // The doc's path now diverges at the ancestor: the abandoned tail
@@ -314,7 +319,7 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
 
 Status VistIndex::BulkLoadSequences(
     const std::vector<std::pair<uint64_t, Sequence>>& documents) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   {
     NodeRecord root;
     VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
@@ -442,13 +447,12 @@ Status VistIndex::BulkLoadSequences(
     VIST_RETURN_IF_ERROR(
         docid_tree_->Put(EncodeDocIdKey(n, doc_id), Slice()));
   }
-  set_max_depth(depth);
-  set_underflow_runs(underflows);
-  return Status::OK();
+  VIST_RETURN_IF_ERROR(set_max_depth(depth));
+  return set_underflow_runs(underflows);
 }
 
 Status VistIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
   VIST_RETURN_IF_ERROR(InsertSequenceImpl(sequence, doc_id));
   if (options_.store_documents) {
@@ -524,7 +528,7 @@ Result<bool> VistIndex::TryDelete(const Sequence& sequence, size_t i,
 }
 
 Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   return DeleteSequenceImpl(sequence, doc_id);
 }
 
@@ -547,7 +551,7 @@ Status VistIndex::DeleteSequenceImpl(const Sequence& sequence,
 }
 
 Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
   VIST_RETURN_IF_ERROR(DeleteSequenceImpl(sequence, doc_id));
   if (options_.store_documents) {
@@ -559,7 +563,7 @@ Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
 Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
     const query::CompiledQuery& compiled, obs::QueryProfile* profile,
     bool collect_doc_ids) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return QueryCompiledImpl(compiled, profile, collect_doc_ids);
 }
 
@@ -573,7 +577,7 @@ Result<std::vector<uint64_t>> VistIndex::QueryCompiledImpl(
 
 Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
                                                const QueryOptions& options) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   VistMetrics::Get().queries.Increment();
   obs::ScopedTimer timer(VistMetrics::Get().query_latency_us);
   obs::QueryProfile* profile = options.profile;
@@ -641,7 +645,7 @@ Status VistIndex::DeleteDocumentText(uint64_t doc_id) {
 }
 
 Result<std::string> VistIndex::GetDocument(uint64_t doc_id) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return GetDocumentImpl(doc_id);
 }
 
@@ -663,7 +667,7 @@ Result<std::string> VistIndex::GetDocumentImpl(uint64_t doc_id) {
 }
 
 Result<IndexStats> VistIndex::Stats() {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   IndexStats stats;
   stats.size_bytes = pager_->page_count() * pager_->page_size();
   stats.max_depth = max_depth();
@@ -677,7 +681,7 @@ Result<IndexStats> VistIndex::Stats() {
 }
 
 Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   IntegrityReport report;
   auto complain = [&report](std::string problem) {
     if (report.problems.size() < 64) {  // cap the noise on mass damage
@@ -791,7 +795,7 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
 }
 
 Status VistIndex::Flush() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   VIST_RETURN_IF_ERROR(symtab_.Save(SymbolsPath(dir_)));
   VIST_RETURN_IF_ERROR(pool_->FlushAll());
   return pager_->Sync();

@@ -27,11 +27,12 @@
 #define VIST_VIST_VIST_INDEX_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "seq/sequence.h"
@@ -193,18 +194,22 @@ class VistIndex {
   /// Lock-free bodies of the public entry points, for composition: e.g.
   /// InsertDocument = writer lock + InsertSequenceImpl + StoreDocumentText,
   /// and Query's verify path reads documents under the shared lock it
-  /// already holds. Callers must hold mu_ (exclusive for mutations, shared
-  /// for reads).
-  Status InsertSequenceImpl(const Sequence& sequence, uint64_t doc_id);
-  Status DeleteSequenceImpl(const Sequence& sequence, uint64_t doc_id);
+  /// already holds. The REQUIRES annotations make the discipline
+  /// compiler-checked: mutations need mu_ exclusive, reads at least shared.
+  Status InsertSequenceImpl(const Sequence& sequence, uint64_t doc_id)
+      VIST_REQUIRES(mu_);
+  Status DeleteSequenceImpl(const Sequence& sequence, uint64_t doc_id)
+      VIST_REQUIRES(mu_);
   Result<std::vector<uint64_t>> QueryCompiledImpl(
       const query::CompiledQuery& compiled, obs::QueryProfile* profile,
-      bool collect_doc_ids);
-  Result<std::string> GetDocumentImpl(uint64_t doc_id);
+      bool collect_doc_ids) VIST_REQUIRES_SHARED(mu_);
+  Result<std::string> GetDocumentImpl(uint64_t doc_id)
+      VIST_REQUIRES_SHARED(mu_);
 
   Status InitTrees(bool create);
-  Status LoadRootRecord(NodeRecord* record);
-  Status WriteRecord(const std::string& entry_key, const NodeRecord& record);
+  Status LoadRootRecord(NodeRecord* record) VIST_REQUIRES_SHARED(mu_);
+  Status WriteRecord(const std::string& entry_key, const NodeRecord& record)
+      VIST_REQUIRES(mu_);
 
   struct PathEntry {
     std::string key;  // entry key in the combined tree
@@ -215,30 +220,40 @@ class VistIndex {
 
   /// Finds the immediate child of `parent` with the given D-key, if any.
   Result<bool> FindImmediateChild(const std::string& dkey,
-                                  const NodeRecord& parent, PathEntry* out);
+                                  const NodeRecord& parent, PathEntry* out)
+      VIST_REQUIRES_SHARED(mu_);
 
   /// Scope underflow (§3.4.1): labels the remaining elements sequentially
   /// from the nearest ancestor reserve with room, rebuilding the path tail
   /// (duplicating the intermediate nodes the run bypasses).
   Status InsertUnderflowRun(const Sequence& sequence,
-                            std::vector<PathEntry>* path);
+                            std::vector<PathEntry>* path) VIST_REQUIRES(mu_);
 
   /// Backtracking walk used by DeleteSequence.
   Result<bool> TryDelete(const Sequence& sequence, size_t i, uint64_t doc_id,
-                         std::vector<PathEntry>* path);
+                         std::vector<PathEntry>* path) VIST_REQUIRES(mu_);
 
-  Status StoreDocumentText(uint64_t doc_id, const std::string& text);
-  Status DeleteDocumentText(uint64_t doc_id);
+  Status StoreDocumentText(uint64_t doc_id, const std::string& text)
+      VIST_REQUIRES(mu_);
+  Status DeleteDocumentText(uint64_t doc_id) VIST_REQUIRES(mu_);
 
-  uint64_t max_depth() const { return pager_->GetMetaSlot(3); }
-  void set_max_depth(uint64_t d) { pager_->SetMetaSlot(3, d); }
-  uint64_t underflow_runs() const { return pager_->GetMetaSlot(4); }
-  void set_underflow_runs(uint64_t c) { pager_->SetMetaSlot(4, c); }
+  uint64_t max_depth() const VIST_REQUIRES_SHARED(mu_) {
+    return pager_->GetMetaSlot(3);
+  }
+  Status set_max_depth(uint64_t d) VIST_REQUIRES(mu_) {
+    return pager_->SetMetaSlot(3, d);
+  }
+  uint64_t underflow_runs() const VIST_REQUIRES_SHARED(mu_) {
+    return pager_->GetMetaSlot(4);
+  }
+  Status set_underflow_runs(uint64_t c) VIST_REQUIRES(mu_) {
+    return pager_->SetMetaSlot(4, c);
+  }
 
   /// Readers/writer lock implementing the contract above: query paths hold
   /// it shared, mutation paths exclusive. Top of the lock order — acquired
   /// before any buffer-pool shard or pager mutex, and never the other way.
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
 
   const std::string dir_;
   VistOptions options_;
@@ -251,7 +266,7 @@ class VistIndex {
   std::unique_ptr<BTree> doc_store_;
   std::unique_ptr<ScopeAllocator> allocator_;
   std::string root_key_;
-  bool crashed_ = false;
+  bool crashed_ VIST_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vist

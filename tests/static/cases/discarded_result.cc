@@ -1,0 +1,16 @@
+// MUST NOT COMPILE (-Werror=unused-result): a Result<T>-returning call
+// whose result (value AND error) is silently dropped. vist::Result is
+// [[nodiscard]] for the same reason Status is.
+#include "common/result.h"
+
+namespace vist {
+namespace {
+
+Result<int> Compute() { return 7; }
+
+void Caller() {
+  Compute();  // violation: both the value and any error discarded
+}
+
+}  // namespace
+}  // namespace vist

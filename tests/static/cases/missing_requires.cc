@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under clang (-Werror=thread-safety): calling a
+// VIST_REQUIRES(mu_) method without holding the mutex. This is the
+// contract every *Impl/*Locked helper in src/ relies on.
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace vist {
+namespace {
+
+class Counter {
+ public:
+  void Bump() VIST_REQUIRES(mu_) { ++value_; }
+
+  void BumpWithoutLock() {
+    Bump();  // violation: caller does not hold mu_
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t value_ VIST_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Counter c;
+  c.BumpWithoutLock();
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,17 @@
+// MUST NOT COMPILE (-Werror=shadow): an inner declaration shadowing an
+// outer one. src/ is built with -Wshadow -Werror precisely because a
+// shadowed `element`/`total` silently splits one logical variable in two.
+namespace {
+
+int Sum(int count) {
+  int total = 0;
+  for (int i = 0; i < count; ++i) {
+    int total = i;  // violation: shadows the accumulator above
+    total += 1;
+  }
+  return total;
+}
+
+int Use() { return Sum(3); }
+
+}  // namespace

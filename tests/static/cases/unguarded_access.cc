@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under clang (-Werror=thread-safety): reading a
+// VIST_GUARDED_BY field without holding its mutex.
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace vist {
+namespace {
+
+class Counter {
+ public:
+  uint64_t Get() const { return value_; }  // violation: mu_ not held
+
+ private:
+  mutable Mutex mu_;
+  uint64_t value_ VIST_GUARDED_BY(mu_) = 0;
+};
+
+uint64_t Use() {
+  Counter c;
+  return c.Get();
+}
+
+}  // namespace
+}  // namespace vist

@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under clang (-Werror=thread-safety): mutating a
+// VIST_GUARDED_BY field while holding only the *shared* side of the
+// SharedMutex. Readers-writer confusion is exactly the bug class the
+// index's ReaderLock/WriterLock split exists to prevent.
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace vist {
+namespace {
+
+class Table {
+ public:
+  void Mutate() {
+    ReaderLock lock(mu_);
+    size_ = 1;  // violation: writes need a WriterLock
+  }
+
+ private:
+  SharedMutex mu_;
+  uint64_t size_ VIST_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Table t;
+  t.Mutate();
+}
+
+}  // namespace
+}  // namespace vist

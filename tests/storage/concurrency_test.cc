@@ -170,6 +170,59 @@ TEST_F(StorageConcurrencyTest, FailedLoadsDoNotStrandFrames) {
   EXPECT_TRUE(StampOk(*ref));
 }
 
+TEST_F(StorageConcurrencyTest, LockOrderShardThenPagerUnderChurn) {
+  // Exercises the one annotated cross-component lock edge (pool shard
+  // mutex → pager mutex, see docs/CONCURRENCY.md and BufferPool::EvictOne's
+  // VIST_REQUIRES): threads dirtying pages under a tiny pool force dirty
+  // evictions — writebacks that enter the pager while a shard mutex is
+  // held — while other threads hammer pager-only entry points that take
+  // the pager mutex alone. If any pager path could take a shard mutex the
+  // order would invert; the test deadlocks (or TSan's lock-order checker
+  // fires in the check_tsan.sh rerun) instead of passing.
+  const std::vector<PageId> ids = WriteStampedPages(64);
+  BufferPool pool(pager_.get(), 8);
+  constexpr int kIters = 600;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // shard → pager: dirty-eviction churn
+      Lcg rng{static_cast<uint64_t>(t) + 13};
+      for (int i = 0; i < kIters; ++i) {
+        // Disjoint page sets per thread: page contents stay single-writer
+        // (the MarkDirty contract), only the locks are contended.
+        PageId id = ids[(rng.Next() % (ids.size() / 2)) * 2 +
+                        static_cast<size_t>(t)];
+        auto ref = pool.Fetch(id);
+        if (!ref.ok() || !StampOk(*ref)) {
+          bad.fetch_add(1);
+          return;
+        }
+        Stamp(*ref);
+        ref->MarkDirty();
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // pager mutex alone
+      for (int i = 0; i < kIters; ++i) {
+        if (!pager_->SetMetaSlot(8 + t, static_cast<PageId>(i)).ok()) {
+          bad.fetch_add(1);
+          return;
+        }
+        auto id = pager_->AllocatePage();
+        if (!id.ok() || !pager_->FreePage(*id).ok()) {
+          bad.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pager_->GetMetaSlot(8), static_cast<PageId>(kIters - 1));
+}
+
 TEST_F(StorageConcurrencyTest, ParallelBTreeReadersSeeEveryKey) {
   constexpr int kKeys = 2000;
   auto key = [](int i) {

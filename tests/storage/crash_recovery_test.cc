@@ -87,11 +87,11 @@ TEST_F(CrashRecoveryTest, UncommittedMetaAndFreeRollBack) {
     auto a = (*pager)->AllocatePage();
     ASSERT_TRUE(a.ok());
     freed = *a;
-    (*pager)->SetMetaSlot(2, 42);
+    ASSERT_TRUE((*pager)->SetMetaSlot(2, 42).ok());
     ASSERT_TRUE((*pager)->Sync().ok());
     // Uncommitted: free the page and clobber the slot.
     ASSERT_TRUE((*pager)->FreePage(freed).ok());
-    (*pager)->SetMetaSlot(2, 99);
+    ASSERT_TRUE((*pager)->SetMetaSlot(2, 99).ok());
     (*pager)->SimulateCrashForTesting();
   }
   auto pager = Pager::Open(PagerPath(), PagerOptions());

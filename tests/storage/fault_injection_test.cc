@@ -80,6 +80,30 @@ TEST_F(FaultInjectionTest, PermanentWriteFaultsSurface) {
   (*pager)->SimulateCrashForTesting();  // skip the destructor's sync
 }
 
+// Regression: SetMetaSlot used to apply the mutation even when starting
+// the journal batch failed, so the unjournaled new value could be
+// committed with no recoverable pre-image. It must now fail without
+// touching the slot.
+TEST_F(FaultInjectionTest, MetaSlotUnchangedWhenJournalingFails) {
+  FaultInjectionEnv env;
+  PagerOptions opts;
+  opts.env = &env;
+  auto pager = Pager::Open(path_, opts);
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE((*pager)->SetMetaSlot(5, 7).ok());
+  // Commit so the next mutation has to start a fresh batch (and journal).
+  ASSERT_TRUE((*pager)->Sync().ok());
+
+  env.InjectWriteFaults(-1);
+  Status s = (*pager)->SetMetaSlot(5, 123);
+  EXPECT_FALSE(s.ok()) << "journaling failed but SetMetaSlot succeeded";
+  EXPECT_EQ((*pager)->GetMetaSlot(5), 7u);
+
+  env.InjectWriteFaults(0);
+  EXPECT_TRUE((*pager)->SetMetaSlot(5, 123).ok());
+  EXPECT_EQ((*pager)->GetMetaSlot(5), 123u);
+}
+
 TEST_F(FaultInjectionTest, FlippedBitIsCorruptionNamingPageAndOffset) {
   PageId page;
   PagerOptions opts;

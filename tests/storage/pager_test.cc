@@ -89,7 +89,7 @@ TEST_F(PagerTest, MetaSlotsAndHeaderSurviveReopen) {
     auto id = (*pager)->AllocatePage();
     ASSERT_TRUE(id.ok());
     data_page = *id;
-    (*pager)->SetMetaSlot(3, data_page);
+    ASSERT_TRUE((*pager)->SetMetaSlot(3, data_page).ok());
     std::vector<char> buf(4096, 'Z');
     ASSERT_TRUE((*pager)->WritePage(data_page, buf.data()).ok());
     ASSERT_TRUE((*pager)->Sync().ok());

@@ -131,7 +131,9 @@ TEST_P(PowerLossMatrixTest, EveryCrashPointRecoversLastSyncState) {
       ASSERT_TRUE(ids.ok()) << ids.status().ToString();
       if (committed.count(i) != 0) {
         EXPECT_EQ(ids->size(), 1u) << "doc " << i << " lost";
-        if (!ids->empty()) EXPECT_EQ((*ids)[0], i);
+        if (!ids->empty()) {
+          EXPECT_EQ((*ids)[0], i);
+        }
       } else {
         EXPECT_TRUE(ids->empty()) << "uncommitted doc " << i << " survived";
       }
