@@ -159,11 +159,15 @@ void BM_Query(benchmark::State& state, const QuerySpec& query,
     });
   } else if (std::string(engine) == "PathIndex") {
     RunEngine(state, query, [&](const char* path, obs::QueryProfile* profile) {
-      return engines.paths->Query(path, profile);
+      QueryOptions options;
+      options.profile = profile;
+      return engines.paths->Query(path, options);
     });
   } else {
     RunEngine(state, query, [&](const char* path, obs::QueryProfile* profile) {
-      return engines.nodes->Query(path, profile);
+      QueryOptions options;
+      options.profile = profile;
+      return engines.nodes->Query(path, options);
     });
   }
   const size_t iterations = state.iterations();

@@ -247,11 +247,15 @@ void Run() {
       }));
   reports.push_back(MeasureEngine(
       "path", [&](const char* path, obs::QueryProfile* profile) {
-        return engines.paths->Query(path, profile);
+        QueryOptions options;
+        options.profile = profile;
+        return engines.paths->Query(path, options);
       }));
   reports.push_back(MeasureEngine(
       "node", [&](const char* path, obs::QueryProfile* profile) {
-        return engines.nodes->Query(path, profile);
+        QueryOptions options;
+        options.profile = profile;
+        return engines.nodes->Query(path, options);
       }));
   WriteJson(reports, records);
   PrintSummary(reports);

@@ -32,6 +32,26 @@ std::string EncodeRegionValue(uint32_t end, uint32_t level) {
   return value;
 }
 
+// Compiled form of a query: just the parsed query tree. Symbols are looked
+// up at execution time (EvalStep), so the plan is always cacheable — there
+// is no compile-time conclusion a later insert could invalidate.
+class NodeQueryPlan : public QueryPlan {
+ public:
+  NodeQueryPlan(std::string path, query::QueryTree tree)
+      : QueryPlan(std::move(path), /*cacheable=*/true),
+        tree_(std::move(tree)) {}
+
+  const query::QueryTree& tree() const { return tree_; }
+
+  size_t MemoryUsage() const override {
+    return sizeof(*this) + path().size() +
+           query::QueryTreeMemoryUsage(*tree_.root);
+  }
+
+ private:
+  const query::QueryTree tree_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<NodeIndex>> NodeIndex::Create(
@@ -64,6 +84,10 @@ Status NodeIndex::PutRegion(Symbol symbol, const Region& region) {
 
 Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
+  // Every public mutating entry point bumps the epoch exactly once while
+  // the writer lock is held (exec/queryable_index.h).
+  BumpEpoch();
+  ++num_documents_;
   // Region labeling: start = preorder rank, end = rank of the last
   // descendant, level = depth. Attribute/text values are labeled as child
   // nodes of their owner (the unified content+structure treatment, so the
@@ -72,6 +96,7 @@ Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   Status status;
   std::function<uint32_t(const xml::Node&, uint32_t)> label =
       [&](const xml::Node& node, uint32_t level) -> uint32_t {
+    max_depth_ = std::max<uint64_t>(max_depth_, level + 1);
     const uint32_t start = counter++;
     uint32_t last = start;
     if (node.is_attribute()) {
@@ -212,19 +237,47 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
 }
 
 Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
+                                               const QueryOptions& options) {
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
+                        Prepare(path, options));
+  return QueryWithPlan(*plan, options);
+}
+
+Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
                                                obs::QueryProfile* profile) {
+  QueryOptions options;
+  options.profile = profile;
+  return Query(path, options);
+}
+
+Result<std::shared_ptr<const QueryPlan>> NodeIndex::Prepare(
+    std::string_view path, const QueryOptions& /*options*/) {
+  // Pure parsing; no index or symbol-table state is read, so no lock.
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+  return std::shared_ptr<const QueryPlan>(
+      std::make_shared<NodeQueryPlan>(std::string(path), std::move(tree)));
+}
+
+Result<std::vector<uint64_t>> NodeIndex::QueryWithPlan(
+    const QueryPlan& plan, const QueryOptions& options) {
+  const auto* node_plan = dynamic_cast<const NodeQueryPlan*>(&plan);
+  if (node_plan == nullptr) {
+    return Status::InvalidArgument("plan was not prepared by a NodeIndex");
+  }
   // Metric reference: docs/OBSERVABILITY.md (baseline section).
   static obs::Counter& queries = obs::GetCounter("baseline.node.queries");
   static obs::Counter& joins = obs::GetCounter("baseline.node.joins");
   queries.Increment();
+  obs::QueryProfile* profile = options.profile;
   if (profile != nullptr) {
     profile->engine = "node_index";
-    profile->query = std::string(path);
+    profile->query = plan.path();
   }
   ReaderLock lock(mu_);
   obs::ProfileScope scope(profile);
   uint64_t query_joins = 0;
-  auto result = QueryImpl(path, &query_joins);
+  auto result = EvalTree(node_plan->tree(), &query_joins);
   last_query_joins_.store(query_joins, std::memory_order_relaxed);
   joins.Increment(query_joins);
   if (profile != nullptr) {
@@ -239,11 +292,8 @@ Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
   return result;
 }
 
-Result<std::vector<uint64_t>> NodeIndex::QueryImpl(std::string_view path,
-                                                   uint64_t* joins) {
-  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
-  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
-
+Result<std::vector<uint64_t>> NodeIndex::EvalTree(const query::QueryTree& tree,
+                                                  uint64_t* joins) {
   std::vector<Region> matches;
   if (tree.root->kind == query::QueryNode::Kind::kDescendant) {
     for (const auto& target : tree.root->children) {
@@ -263,6 +313,22 @@ Result<std::vector<uint64_t>> NodeIndex::QueryImpl(std::string_view path,
   std::set<uint64_t> docs;
   for (const Region& region : matches) docs.insert(region.doc);
   return std::vector<uint64_t>(docs.begin(), docs.end());
+}
+
+Result<IndexStats> NodeIndex::Stats() {
+  ReaderLock lock(mu_);
+  IndexStats stats;
+  stats.size_bytes = pager_->page_count() * pager_->page_size();
+  stats.num_documents = num_documents_;
+  stats.max_depth = max_depth_;
+  return stats;
+}
+
+Status NodeIndex::Flush() {
+  WriterLock lock(mu_);
+  BumpEpoch();
+  VIST_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Sync();
 }
 
 }  // namespace vist

@@ -21,6 +21,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "exec/queryable_index.h"
 #include "obs/query_profile.h"
 #include "query/path_expr.h"
 #include "seq/symbol_table.h"
@@ -42,7 +43,7 @@ struct NodeIndexOptions {
 // Table-4 comparison measures index structure, not lock shape — Query runs
 // under a shared lock and may be called from many threads; InsertDocument
 // takes the writer side.
-class NodeIndex {
+class NodeIndex : public QueryableIndex {
  public:
   /// Creates an empty node index in `dir`. Names are interned into the
   /// caller's symbol table (shared with the other engines in benchmarks),
@@ -58,10 +59,33 @@ class NodeIndex {
   Status InsertDocument(const xml::Node& root, uint64_t doc_id);
 
   /// Evaluates a path expression with exact XPath tree-pattern semantics;
-  /// returns sorted matching doc ids. `profile` (optional) receives the
-  /// per-query cost accounting (see obs/query_profile.h).
+  /// returns sorted matching doc ids.
   Result<std::vector<uint64_t>> Query(std::string_view path,
-                                      obs::QueryProfile* profile = nullptr);
+                                      const QueryOptions& options = {}) override;
+
+  /// Deprecated pre-QueryOptions signature; forwards to the overload
+  /// above with options.profile = profile. Removed next PR.
+  [[deprecated("use Query(path, QueryOptions{.profile = ...})")]]
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      obs::QueryProfile* profile);
+
+  /// Parses a path expression into a query-tree plan. Always cacheable:
+  /// symbol lookup happens at execution time, so the plan never pins a
+  /// stale "name unknown" conclusion.
+  Result<std::shared_ptr<const QueryPlan>> Prepare(
+      std::string_view path, const QueryOptions& options = {}) override;
+
+  /// Executes a plan previously produced by this index's Prepare
+  /// (InvalidArgument for any other plan).
+  Result<std::vector<uint64_t>> QueryWithPlan(
+      const QueryPlan& plan, const QueryOptions& options = {}) override;
+
+  /// Fills size_bytes, num_documents, and max_depth; the ViST-specific
+  /// fields stay zero.
+  Result<IndexStats> Stats() override;
+
+  /// Writes back every dirty page and syncs the page file.
+  Status Flush() override;
 
   /// Structural joins performed by the last query. With concurrent queries
   /// "last" means the most recently finished; per-query numbers come from
@@ -90,11 +114,11 @@ class NodeIndex {
   NodeIndex(SymbolTable* symtab, NodeIndexOptions options)
       : symtab_(symtab), options_(options) {}
 
-  /// Query body; Query wraps it with the metrics/profile accounting. The
-  /// join count accumulates into `*joins` (local to the query) so
+  /// Plan body: bottom-up structural-join evaluation of the query tree.
+  /// The join count accumulates into `*joins` (local to the query) so
   /// concurrent queries don't scribble on one shared member.
-  Result<std::vector<uint64_t>> QueryImpl(std::string_view path,
-                                          uint64_t* joins)
+  Result<std::vector<uint64_t>> EvalTree(const query::QueryTree& tree,
+                                         uint64_t* joins)
       VIST_REQUIRES_SHARED(mu_);
 
   Status PutRegion(Symbol symbol, const Region& region) VIST_REQUIRES(mu_);
@@ -118,6 +142,8 @@ class NodeIndex {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> tree_;
+  uint64_t max_depth_ VIST_GUARDED_BY(mu_) = 0;
+  uint64_t num_documents_ VIST_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> last_query_joins_{0};
 };
 

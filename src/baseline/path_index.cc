@@ -108,6 +108,36 @@ std::string RefinedPostingKey(uint32_t refined_id, uint64_t doc_id) {
   return key;
 }
 
+// Compiled form of a query: its root-to-leaf path patterns. When the query
+// named a symbol the table hadn't interned at compile time the plan is
+// pinned to the empty answer and marked uncacheable (a later insert may
+// intern the name, changing the right answer).
+class PathQueryPlan : public QueryPlan {
+ public:
+  PathQueryPlan(std::string path, bool unknown_name,
+                std::vector<std::vector<Symbol>> leaf_paths)
+      : QueryPlan(std::move(path), /*cacheable=*/!unknown_name),
+        unknown_name_(unknown_name),
+        leaf_paths_(std::move(leaf_paths)) {}
+
+  bool unknown_name() const { return unknown_name_; }
+  const std::vector<std::vector<Symbol>>& leaf_paths() const {
+    return leaf_paths_;
+  }
+
+  size_t MemoryUsage() const override {
+    size_t bytes = sizeof(*this) + path().size();
+    for (const std::vector<Symbol>& leaf : leaf_paths_) {
+      bytes += sizeof(leaf) + leaf.size() * sizeof(Symbol);
+    }
+    return bytes;
+  }
+
+ private:
+  const bool unknown_name_;
+  const std::vector<std::vector<Symbol>> leaf_paths_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<PathIndex>> PathIndex::Create(
@@ -135,6 +165,10 @@ Result<std::unique_ptr<PathIndex>> PathIndex::Create(
 
 Status PathIndex::AddRefinedPath(std::string_view path) {
   WriterLock lock(mu_);
+  // Every public mutating entry point bumps the epoch exactly once while
+  // the writer lock is held (exec/queryable_index.h). A new refined path
+  // changes how its pattern is answered, so it must invalidate too.
+  BumpEpoch();
   query::CompileOptions compile_options;
   compile_options.max_alternatives = options_.max_alternatives;
   VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
@@ -149,6 +183,8 @@ Status PathIndex::AddRefinedPath(std::string_view path) {
 
 Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
+  BumpEpoch();
+  ++num_documents_;
   std::vector<Symbol> path;
   for (const SequenceElement& element : sequence) {
     path = element.prefix;
@@ -213,19 +249,71 @@ Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
 }
 
 Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
+                                               const QueryOptions& options) {
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
+                        Prepare(path, options));
+  return QueryWithPlan(*plan, options);
+}
+
+Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
                                                obs::QueryProfile* profile) {
+  QueryOptions options;
+  options.profile = profile;
+  return Query(path, options);
+}
+
+Result<std::shared_ptr<const QueryPlan>> PathIndex::Prepare(
+    std::string_view path, const QueryOptions& /*options*/) {
+  // Pure compilation against the (borrowed, append-only) symbol table; no
+  // index state is read, so no lock. The refined-path check deliberately
+  // happens at execution time — see the header.
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+  std::vector<std::vector<Symbol>> leaf_paths;
+  std::vector<Symbol> current;
+  bool unknown_name = false;
+  CollectLeafPaths(*tree.root, *symtab_, &current, &leaf_paths,
+                   &unknown_name);
+  if (unknown_name) leaf_paths.clear();
+  return std::shared_ptr<const QueryPlan>(std::make_shared<PathQueryPlan>(
+      std::string(path), unknown_name, std::move(leaf_paths)));
+}
+
+Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
+    const QueryPlan& plan, const QueryOptions& options) {
+  const auto* path_plan = dynamic_cast<const PathQueryPlan*>(&plan);
+  if (path_plan == nullptr) {
+    return Status::InvalidArgument("plan was not prepared by a PathIndex");
+  }
   // Metric reference: docs/OBSERVABILITY.md (baseline section).
   static obs::Counter& queries = obs::GetCounter("baseline.path.queries");
   static obs::Counter& joins = obs::GetCounter("baseline.path.joins");
   queries.Increment();
+  obs::QueryProfile* profile = options.profile;
   if (profile != nullptr) {
     profile->engine = "path_index";
-    profile->query = std::string(path);
+    profile->query = plan.path();
   }
   ReaderLock lock(mu_);
   obs::ProfileScope scope(profile);
   uint64_t query_joins = 0;
-  auto result = QueryImpl(path, &query_joins);
+  Result<std::vector<uint64_t>> result = std::vector<uint64_t>{};
+  bool answered = false;
+  // A registered refined path short-circuits to its posting list. Checked
+  // by exact query string at execution time, so a plan compiled (and
+  // cached) before AddRefinedPath still gets the posting list.
+  for (const RefinedPath& refined : refined_) {
+    if (refined.pattern != plan.path()) continue;
+    result = ReadRefinedPosting(refined.id);
+    answered = true;
+    break;
+  }
+  if (!answered && path_plan->unknown_name()) {
+    answered = true;  // a name the index never saw: provably empty
+  }
+  if (!answered) {
+    result = EvalLeafPatterns(path_plan->leaf_paths(), &query_joins);
+  }
   last_query_joins_.store(query_joins, std::memory_order_relaxed);
   joins.Increment(query_joins);
   if (profile != nullptr) {
@@ -241,35 +329,24 @@ Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
   return result;
 }
 
-Result<std::vector<uint64_t>> PathIndex::QueryImpl(std::string_view path,
-                                                   uint64_t* joins) {
-  // A registered refined path short-circuits to its posting list.
-  for (const RefinedPath& refined : refined_) {
-    if (refined.pattern != path) continue;
-    std::vector<uint64_t> docs;
-    const std::string lo = RefinedPostingKey(refined.id, 0);
-    const std::string hi = RefinedPostingKey(refined.id + 1, 0);
-    auto it = tree_->NewIterator();
-    for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0;
-         it->Next()) {
-      docs.push_back(DecodeFixed64BE(it->key().data() + 6));
-    }
-    VIST_RETURN_IF_ERROR(it->status());
-    return docs;
+Result<std::vector<uint64_t>> PathIndex::ReadRefinedPosting(
+    uint32_t refined_id) {
+  std::vector<uint64_t> docs;
+  const std::string lo = RefinedPostingKey(refined_id, 0);
+  const std::string hi = RefinedPostingKey(refined_id + 1, 0);
+  auto it = tree_->NewIterator();
+  for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0; it->Next()) {
+    docs.push_back(DecodeFixed64BE(it->key().data() + 6));
   }
-  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
-  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+  VIST_RETURN_IF_ERROR(it->status());
+  return docs;
+}
 
-  std::vector<std::vector<Symbol>> leaf_paths;
-  std::vector<Symbol> current;
-  bool unknown_name = false;
-  CollectLeafPaths(*tree.root, *symtab_, &current, &leaf_paths,
-                   &unknown_name);
-  if (unknown_name) return std::vector<uint64_t>{};
-
+Result<std::vector<uint64_t>> PathIndex::EvalLeafPatterns(
+    const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins) {
   std::vector<uint64_t> result;
   bool first = true;
-  for (const std::vector<Symbol>& pattern : leaf_paths) {
+  for (const std::vector<Symbol>& pattern : patterns) {
     VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> docs,
                           EvalPathPattern(pattern));
     if (first) {
@@ -286,6 +363,22 @@ Result<std::vector<uint64_t>> PathIndex::QueryImpl(std::string_view path,
     if (result.empty()) break;
   }
   return result;
+}
+
+Result<IndexStats> PathIndex::Stats() {
+  ReaderLock lock(mu_);
+  IndexStats stats;
+  stats.size_bytes = pager_->page_count() * pager_->page_size();
+  stats.num_documents = num_documents_;
+  stats.max_depth = max_depth_;
+  return stats;
+}
+
+Status PathIndex::Flush() {
+  WriterLock lock(mu_);
+  BumpEpoch();
+  VIST_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Sync();
 }
 
 }  // namespace vist

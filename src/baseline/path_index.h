@@ -31,6 +31,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "exec/queryable_index.h"
 #include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "seq/sequence.h"
@@ -53,7 +54,7 @@ struct PathIndexOptions {
 // Table-4 comparison measures index structure, not lock shape — Query runs
 // under a shared lock and may be called from many threads; the mutating
 // calls (AddRefinedPath, InsertSequence) take the writer side.
-class PathIndex {
+class PathIndex : public QueryableIndex {
  public:
   /// Creates an empty path index in `dir`. The caller's symbol table is
   /// borrowed for query compilation and must outlive the index.
@@ -76,10 +77,36 @@ class PathIndex {
 
   /// Evaluates a path expression; returns sorted matching doc ids. A path
   /// string equal to a registered refined path is answered from its
-  /// posting list with zero joins. `profile` (optional) receives the
-  /// per-query cost accounting (see obs/query_profile.h).
+  /// posting list with zero joins.
   Result<std::vector<uint64_t>> Query(std::string_view path,
-                                      obs::QueryProfile* profile = nullptr);
+                                      const QueryOptions& options = {}) override;
+
+  /// Deprecated pre-QueryOptions signature; forwards to the overload
+  /// above with options.profile = profile. Removed next PR.
+  [[deprecated("use Query(path, QueryOptions{.profile = ...})")]]
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      obs::QueryProfile* profile);
+
+  /// Compiles a path expression into its root-to-leaf path patterns.
+  /// Plans that met a name the (borrowed) symbol table does not know are
+  /// not cacheable: another engine sharing the table may intern it later.
+  /// Whether the path names a refined posting list is deliberately NOT
+  /// baked into the plan — QueryWithPlan re-checks at execution time, so a
+  /// plan compiled before AddRefinedPath still uses the posting list.
+  Result<std::shared_ptr<const QueryPlan>> Prepare(
+      std::string_view path, const QueryOptions& options = {}) override;
+
+  /// Executes a plan previously produced by this index's Prepare
+  /// (InvalidArgument for any other plan).
+  Result<std::vector<uint64_t>> QueryWithPlan(
+      const QueryPlan& plan, const QueryOptions& options = {}) override;
+
+  /// Fills size_bytes, num_documents (sequences inserted), and max_depth;
+  /// the ViST-specific fields stay zero.
+  Result<IndexStats> Stats() override;
+
+  /// Writes back every dirty page and syncs the page file.
+  Status Flush() override;
 
   /// Refined-path pattern evaluations performed by inserts so far (the
   /// maintenance-cost metric).
@@ -103,17 +130,21 @@ class PathIndex {
   PathIndex(const SymbolTable* symtab, PathIndexOptions options)
       : symtab_(symtab), options_(options) {}
 
-  /// Query body; Query wraps it with the metrics/profile accounting.
-  /// Join count goes to `*joins` (local to the query) so concurrent
-  /// queries don't scribble on one shared member.
-  Result<std::vector<uint64_t>> QueryImpl(std::string_view path,
-                                          uint64_t* joins)
+  /// Plan body: evaluates each leaf-path pattern and intersects (joins)
+  /// the doc-id sets. Join count goes to `*joins` (local to the query) so
+  /// concurrent queries don't scribble on one shared member.
+  Result<std::vector<uint64_t>> EvalLeafPatterns(
+      const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins)
       VIST_REQUIRES_SHARED(mu_);
 
   /// Doc ids whose documents contain a path matching `pattern` (symbols
   /// with possible kStarSymbol / kDescendantSymbol).
   Result<std::vector<uint64_t>> EvalPathPattern(
       const std::vector<Symbol>& pattern) VIST_REQUIRES_SHARED(mu_);
+
+  /// Scans one refined path's posting list.
+  Result<std::vector<uint64_t>> ReadRefinedPosting(uint32_t refined_id)
+      VIST_REQUIRES_SHARED(mu_);
 
   /// Readers/writer lock: Query shared, mutations exclusive (same shape as
   /// VistIndex::mu_, above the storage-layer latches in the lock order).
@@ -125,6 +156,7 @@ class PathIndex {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> tree_;
   uint64_t max_depth_ VIST_GUARDED_BY(mu_) = 0;
+  uint64_t num_documents_ VIST_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> last_query_joins_{0};
 
   struct RefinedPath {

@@ -7,6 +7,7 @@
 #ifndef VIST_COMMON_RANDOM_H_
 #define VIST_COMMON_RANDOM_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace vist {
@@ -64,6 +65,48 @@ class Random {
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
   uint64_t s_[4];
+};
+
+/// Proper Zipfian rank sampler over [0, n) (Gray et al., "Quickly
+/// Generating Billion-Record Synthetic Databases" — the YCSB generator).
+/// Rank r is drawn with probability proportional to 1 / (r+1)^theta.
+/// Construction precomputes the harmonic normalizer in O(n); draws are
+/// O(1). Deterministic given the Random stream. theta in (0, 1);
+/// theta ≈ 0.99 is the customary "hot-spot" skew.
+class Zipfian {
+ public:
+  explicit Zipfian(uint64_t n, double theta = 0.99)
+      : n_(n < 1 ? 1 : n), theta_(theta) {
+    double zetan = 0;
+    for (uint64_t i = 0; i < n_; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    }
+    zetan_ = zetan;
+    const double zeta2 = 1.0 + std::pow(0.5, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+
+  /// Draws a rank in [0, n); rank 0 is the hottest.
+  uint64_t Next(Random* rng) {
+    const double u = rng->NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
 };
 
 }  // namespace vist

@@ -1,0 +1,9 @@
+#include "exec/queryable_index.h"
+
+namespace vist {
+
+// Out-of-line destructors anchor the vtables in this translation unit.
+QueryPlan::~QueryPlan() = default;
+QueryableIndex::~QueryableIndex() = default;
+
+}  // namespace vist

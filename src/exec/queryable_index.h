@@ -1,0 +1,148 @@
+// The unified query-serving surface every index engine implements.
+//
+// Before this interface existed each engine grew its own query signature
+// (`VistIndex::Query(path, QueryOptions)` vs. the baselines' bare
+// `Query(path, QueryProfile*)`), which made it impossible to build generic
+// serving infrastructure — a cache, an admission controller, a router —
+// over "an index" in the abstract. `QueryableIndex` is that abstraction:
+//
+//   * `Query(path, QueryOptions)`   — evaluate a path expression
+//   * `Prepare` / `QueryWithPlan`   — split compilation from execution
+//   * `Stats()` / `Flush()`         — introspection and durability
+//   * `epoch()`                     — mutation counter for cache validity
+//
+// The epoch contract: every public mutating entry point bumps the epoch
+// exactly once *while still holding the engine's writer lock*. Two equal
+// epoch reads therefore bracket a mutation-free window, and any state read
+// under a reader lock inside that window belongs to the snapshot the epoch
+// names (the PR-3 snapshot contract: queries observe points between whole
+// writer operations). exec::CachingIndex builds its result-cache
+// invalidation rule on exactly this (docs/SERVING.md).
+//
+// Plans (`Prepare`) are engine-specific compiled forms of a path
+// expression. A plan marked `cacheable()` depends only on symbols that
+// were already interned when it was compiled — never on the indexed data —
+// so it stays valid across arbitrary mutations. Plans whose compilation
+// saw a name the symbol table did not yet contain are *not* cacheable: a
+// later insert could intern the name and change the compilation.
+
+#ifndef VIST_EXEC_QUERYABLE_INDEX_H_
+#define VIST_EXEC_QUERYABLE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/query_profile.h"
+
+namespace vist {
+
+/// Per-query options, shared by every engine.
+struct QueryOptions {
+  /// Filter out the false positives of sequence matching by checking a
+  /// real tree embedding against the stored document. Requires
+  /// store_documents (engines without a document store reject it).
+  bool verify = false;
+  /// Cap on branching-query permutation expansion.
+  size_t max_alternatives = 64;
+  /// Optional per-query EXPLAIN/profile sink (see obs/query_profile.h):
+  /// receives index-node accesses, buffer-pool hits/misses, range-scan
+  /// extents, candidate vs. verified result counts, and wall time. The
+  /// caller owns it; fields accumulate, so reuse across queries sums.
+  obs::QueryProfile* profile = nullptr;
+};
+
+/// Size and cardinality statistics. Engines fill the fields they track and
+/// leave the rest zero (the baselines have no virtual-tree entries, for
+/// example).
+struct IndexStats {
+  uint64_t size_bytes = 0;        // page file size
+  uint64_t num_documents = 0;     // live (inserted minus deleted)
+  uint64_t num_entries = 0;       // S-Ancestor entries (virtual-tree nodes)
+  uint64_t max_depth = 0;         // deepest indexed prefix
+  uint64_t underflow_runs = 0;    // scope-underflow fallbacks taken
+};
+
+/// An engine-specific compiled form of a path expression, produced by
+/// `Prepare` and consumed by `QueryWithPlan` of the same engine. Immutable
+/// after construction, so one plan may be executed concurrently from many
+/// threads.
+class QueryPlan {
+ public:
+  virtual ~QueryPlan();
+
+  QueryPlan(const QueryPlan&) = delete;
+  QueryPlan& operator=(const QueryPlan&) = delete;
+
+  /// The source path expression the plan was compiled from.
+  const std::string& path() const { return path_; }
+
+  /// True when the plan stays valid across mutations (its compilation
+  /// resolved every name against the symbol table). Non-cacheable plans
+  /// are still executable; they just must not outlive the query.
+  bool cacheable() const { return cacheable_; }
+
+  /// Approximate heap footprint in bytes, for cache budgeting.
+  virtual size_t MemoryUsage() const = 0;
+
+ protected:
+  QueryPlan(std::string path, bool cacheable)
+      : path_(std::move(path)), cacheable_(cacheable) {}
+
+ private:
+  const std::string path_;
+  const bool cacheable_;
+};
+
+/// The abstract index every engine (VistIndex, PathIndex, NodeIndex, and
+/// wrappers like exec::CachingIndex) implements. Thread-safety contract
+/// (docs/CONCURRENCY.md): all methods here are safe to call concurrently
+/// from many threads; mutations on the concrete engines serialize behind
+/// their writer lock.
+class QueryableIndex {
+ public:
+  virtual ~QueryableIndex();
+
+  /// Evaluates a path expression; returns sorted matching doc ids.
+  virtual Result<std::vector<uint64_t>> Query(
+      std::string_view path, const QueryOptions& options = {}) = 0;
+
+  /// Compiles a path expression into this engine's plan form without
+  /// executing it. The returned plan is immutable and shareable.
+  virtual Result<std::shared_ptr<const QueryPlan>> Prepare(
+      std::string_view path, const QueryOptions& options = {}) = 0;
+
+  /// Executes a plan previously produced by this engine's Prepare.
+  /// `Query(p, o)` is exactly `QueryWithPlan(**Prepare(p, o), o)`.
+  virtual Result<std::vector<uint64_t>> QueryWithPlan(
+      const QueryPlan& plan, const QueryOptions& options = {}) = 0;
+
+  virtual Result<IndexStats> Stats() = 0;
+
+  /// Makes all prior mutations durable (and, on engines with a journal,
+  /// commits the current batch).
+  virtual Status Flush() = 0;
+
+  /// Monotonically increasing mutation counter: bumped exactly once by
+  /// every public mutating entry point, before that mutation's writer lock
+  /// is released. Equal values bracket a mutation-free window.
+  virtual uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Concrete engines call this exactly once per mutating entry point,
+  /// while still holding their writer lock.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace vist
+
+#endif  // VIST_EXEC_QUERYABLE_INDEX_H_

@@ -60,6 +60,12 @@ struct QueryProfile {
   uint64_t verified_results = 0;
   bool verified = false;
 
+  /// Serving-cache outcome (exec::CachingIndex; both false when the query
+  /// ran against a bare engine). A result hit answers from the cache
+  /// without touching the engine, so the storage fields above stay zero.
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+
   /// Wall-clock time of the query evaluation, milliseconds.
   double wall_ms = 0;
 

@@ -50,6 +50,37 @@ std::string DocChunkKey(uint64_t doc_id, uint32_t chunk) {
   return key;
 }
 
+// VistIndex's compiled form: the query tree (needed again at execution
+// time for verified queries) plus the query sequences matched against the
+// virtual suffix tree.
+class VistQueryPlan : public QueryPlan {
+ public:
+  VistQueryPlan(std::string path, bool plan_cacheable, query::QueryTree tree,
+                query::CompiledQuery compiled)
+      : QueryPlan(std::move(path), plan_cacheable),
+        tree_(std::move(tree)),
+        compiled_(std::move(compiled)) {}
+
+  size_t MemoryUsage() const override {
+    size_t bytes = sizeof(*this) + path().size() +
+                   query::QueryTreeMemoryUsage(*tree_.root);
+    for (const query::QuerySequence& alternative : compiled_.alternatives) {
+      bytes += alternative.size() * sizeof(query::QuerySequenceElement);
+      for (const query::QuerySequenceElement& element : alternative) {
+        bytes += element.pattern.size() * sizeof(Symbol);
+      }
+    }
+    return bytes;
+  }
+
+  const query::QueryTree& tree() const { return tree_; }
+  const query::CompiledQuery& compiled() const { return compiled_; }
+
+ private:
+  const query::QueryTree tree_;
+  const query::CompiledQuery compiled_;
+};
+
 }  // namespace
 
 VistIndex::VistIndex(std::string dir, VistOptions options)
@@ -207,6 +238,11 @@ Result<bool> VistIndex::FindImmediateChild(const std::string& dkey,
 
 Status VistIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
+  // Every public mutating entry point bumps the epoch exactly once, while
+  // the writer lock is held (the QueryableIndex contract result caching
+  // depends on). Bumping up front also covers failure paths that may have
+  // already written — a spurious invalidation is safe, a missed one is not.
+  BumpEpoch();
   return InsertSequenceImpl(sequence, doc_id);
 }
 
@@ -320,6 +356,7 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
 Status VistIndex::BulkLoadSequences(
     const std::vector<std::pair<uint64_t, Sequence>>& documents) {
   WriterLock lock(mu_);
+  BumpEpoch();
   {
     NodeRecord root;
     VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
@@ -453,6 +490,7 @@ Status VistIndex::BulkLoadSequences(
 
 Status VistIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
+  BumpEpoch();
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
   VIST_RETURN_IF_ERROR(InsertSequenceImpl(sequence, doc_id));
   if (options_.store_documents) {
@@ -529,6 +567,7 @@ Result<bool> VistIndex::TryDelete(const Sequence& sequence, size_t i,
 
 Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
+  BumpEpoch();
   return DeleteSequenceImpl(sequence, doc_id);
 }
 
@@ -552,6 +591,7 @@ Status VistIndex::DeleteSequenceImpl(const Sequence& sequence,
 
 Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
+  BumpEpoch();
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
   VIST_RETURN_IF_ERROR(DeleteSequenceImpl(sequence, doc_id));
   if (options_.store_documents) {
@@ -577,24 +617,48 @@ Result<std::vector<uint64_t>> VistIndex::QueryCompiledImpl(
 
 Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
                                                const QueryOptions& options) {
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
+                        Prepare(path, options));
+  return QueryWithPlan(*plan, options);
+}
+
+Result<std::shared_ptr<const QueryPlan>> VistIndex::Prepare(
+    std::string_view path, const QueryOptions& options) {
+  // Compilation reads the symbol table, which inserts grow — shared lock.
+  ReaderLock lock(mu_);
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
+  query::CompileOptions compile_options;
+  compile_options.max_alternatives = options.max_alternatives;
+  VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
+                        query::CompileQuery(tree, symtab_, compile_options));
+  // An empty compilation means a query name was never interned; a later
+  // insert can intern it and change the compilation, so such plans must
+  // not outlive the query (QueryPlan::cacheable).
+  const bool plan_cacheable = !compiled.alternatives.empty();
+  return std::shared_ptr<const QueryPlan>(
+      std::make_shared<VistQueryPlan>(std::string(path), plan_cacheable,
+                                      std::move(tree), std::move(compiled)));
+}
+
+Result<std::vector<uint64_t>> VistIndex::QueryWithPlan(
+    const QueryPlan& plan, const QueryOptions& options) {
+  const auto* vist_plan = dynamic_cast<const VistQueryPlan*>(&plan);
+  if (vist_plan == nullptr) {
+    return Status::InvalidArgument(
+        "plan was not prepared by a VistIndex");
+  }
   ReaderLock lock(mu_);
   VistMetrics::Get().queries.Increment();
   obs::ScopedTimer timer(VistMetrics::Get().query_latency_us);
   obs::QueryProfile* profile = options.profile;
   if (profile != nullptr) {
     profile->engine = "vist";
-    profile->query = std::string(path);
+    profile->query = plan.path();
   }
-  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
-  VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
-  query::CompileOptions compile_options;
-  compile_options.max_alternatives = options.max_alternatives;
-  VIST_ASSIGN_OR_RETURN(
-      query::CompiledQuery compiled,
-      query::CompileQuery(tree, symtab_, compile_options));
-  VIST_ASSIGN_OR_RETURN(
-      std::vector<uint64_t> ids,
-      QueryCompiledImpl(compiled, profile, /*collect_doc_ids=*/true));
+  VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
+                        QueryCompiledImpl(vist_plan->compiled(), profile,
+                                          /*collect_doc_ids=*/true));
   if (!options.verify) return ids;
 
   if (!options_.store_documents) {
@@ -608,7 +672,9 @@ Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
   for (uint64_t doc_id : ids) {
     VIST_ASSIGN_OR_RETURN(std::string text, GetDocumentImpl(doc_id));
     VIST_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
-    if (VerifyEmbedding(tree, *doc.root())) verified.push_back(doc_id);
+    if (VerifyEmbedding(vist_plan->tree(), *doc.root())) {
+      verified.push_back(doc_id);
+    }
   }
   if (profile != nullptr) {
     profile->verified = true;
@@ -796,6 +862,7 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
 
 Status VistIndex::Flush() {
   WriterLock lock(mu_);
+  BumpEpoch();
   VIST_RETURN_IF_ERROR(symtab_.Save(SymbolsPath(dir_)));
   VIST_RETURN_IF_ERROR(pool_->FlushAll());
   return pager_->Sync();

@@ -33,6 +33,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "exec/queryable_index.h"
 #include "obs/query_profile.h"
 #include "query/query_sequence.h"
 #include "seq/sequence.h"
@@ -86,29 +87,10 @@ struct VistOptions {
   const SchemaStats* stats = nullptr;
 };
 
-struct QueryOptions {
-  /// Filter out the false positives of sequence matching by checking a
-  /// real tree embedding against the stored document. Requires
-  /// store_documents.
-  bool verify = false;
-  /// Cap on branching-query permutation expansion.
-  size_t max_alternatives = 64;
-  /// Optional per-query EXPLAIN/profile sink (see obs/query_profile.h):
-  /// receives index-node accesses, buffer-pool hits/misses, range-scan
-  /// extents, candidate vs. verified result counts, and wall time. The
-  /// caller owns it; fields accumulate, so reuse across queries sums.
-  obs::QueryProfile* profile = nullptr;
-};
+// QueryOptions and IndexStats, shared by every engine, live with the
+// QueryableIndex interface in exec/queryable_index.h.
 
-struct IndexStats {
-  uint64_t size_bytes = 0;        // page file size
-  uint64_t num_documents = 0;     // live (inserted minus deleted)
-  uint64_t num_entries = 0;       // S-Ancestor entries (virtual-tree nodes)
-  uint64_t max_depth = 0;         // deepest indexed prefix
-  uint64_t underflow_runs = 0;    // scope-underflow fallbacks taken
-};
-
-class VistIndex {
+class VistIndex : public QueryableIndex {
  public:
   /// Creates a fresh index in `dir` (created if missing; must not already
   /// contain an index).
@@ -120,7 +102,7 @@ class VistIndex {
   static Result<std::unique_ptr<VistIndex>> Open(const std::string& dir,
                                                  const VistOptions& options);
 
-  ~VistIndex();
+  ~VistIndex() override;
 
   VistIndex(const VistIndex&) = delete;
   VistIndex& operator=(const VistIndex&) = delete;
@@ -145,8 +127,21 @@ class VistIndex {
   Status DeleteSequence(const Sequence& sequence, uint64_t doc_id);
 
   /// Evaluates a path expression; returns sorted matching doc ids.
+  /// Equivalent to Prepare + QueryWithPlan.
   Result<std::vector<uint64_t>> Query(std::string_view path,
-                                      const QueryOptions& options = {});
+                                      const QueryOptions& options = {}) override;
+
+  /// Compiles a path expression (parse → query tree → query sequences
+  /// against the symbol table) without executing it. The plan is cacheable
+  /// unless compilation proved the query matches nothing — that proof can
+  /// be invalidated by a later insert interning the missing name.
+  Result<std::shared_ptr<const QueryPlan>> Prepare(
+      std::string_view path, const QueryOptions& options = {}) override;
+
+  /// Executes a plan previously produced by this index's Prepare
+  /// (InvalidArgument for any other plan).
+  Result<std::vector<uint64_t>> QueryWithPlan(
+      const QueryPlan& plan, const QueryOptions& options = {}) override;
 
   /// Evaluates an already-compiled query (no verification available here —
   /// verification needs the query tree). With collect_doc_ids == false the
@@ -162,7 +157,7 @@ class VistIndex {
   SymbolTable* symbols() { return &symtab_; }
   const VistOptions& options() const { return options_; }
 
-  Result<IndexStats> Stats();
+  Result<IndexStats> Stats() override;
 
   /// fsck for the index: verifies every structural invariant of the
   /// virtual suffix tree — decodable entries, labels forming a laminar
@@ -182,7 +177,7 @@ class VistIndex {
   /// Persists the symbol table and commits the page file's current batch.
   /// All mutations between two Flush() calls form one atomic unit: after
   /// a crash, the index reopens in the state of the last Flush.
-  Status Flush();
+  Status Flush() override;
 
   /// Test hook: abandons all unflushed state as a crashed process would.
   /// The index object is unusable afterwards; reopen the directory.

@@ -89,5 +89,56 @@ TEST(RandomTest, SkewedFavorsLowRanks) {
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Skewed(50, 0.5), 50u);
 }
 
+TEST(ZipfianTest, StaysInRangeIncludingDegenerateN) {
+  Random rng(5);
+  Zipfian zipf(100);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 100u);
+  }
+  Zipfian one(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.Next(&rng), 0u);
+  Zipfian zero(0);  // clamped to n = 1
+  EXPECT_EQ(zero.n(), 1u);
+  EXPECT_EQ(zero.Next(&rng), 0u);
+}
+
+TEST(ZipfianTest, DeterministicGivenTheStream) {
+  Random rng_a(42), rng_b(42);
+  Zipfian zipf_a(5000, 0.99), zipf_b(5000, 0.99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf_a.Next(&rng_a), zipf_b.Next(&rng_b));
+  }
+}
+
+TEST(ZipfianTest, HasTheZipfShape) {
+  // With theta = 0.99 over n = 1000, rank 0 alone should carry roughly
+  // 1/zeta(n) ≈ 13% of the mass and the top 10 ranks the majority — far
+  // beyond uniform's 0.1% / 1%. Loose bounds keep the test robust.
+  Random rng(6);
+  Zipfian zipf(1000, 0.99);
+  const int kTrials = 50000;
+  int rank0 = 0, top10 = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t r = zipf.Next(&rng);
+    if (r == 0) ++rank0;
+    if (r < 10) ++top10;
+  }
+  EXPECT_GT(rank0, kTrials / 20);      // > 5% (uniform: 0.1%)
+  EXPECT_GT(top10, kTrials / 4);       // > 25% (uniform: 1%)
+  EXPECT_LT(rank0, kTrials / 2);       // but not degenerate
+  // Monotone: each of the first few ranks at least as likely as the next
+  // (allow 20% sampling slack).
+  int counts[4] = {0, 0, 0, 0};
+  Random rng2(7);
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t r = zipf.Next(&rng2);
+    if (r < 4) ++counts[r];
+  }
+  for (int r = 0; r + 1 < 4; ++r) {
+    EXPECT_GT(counts[r] * 12, counts[r + 1] * 10)
+        << "rank " << r << " vs " << r + 1;
+  }
+}
+
 }  // namespace
 }  // namespace vist
