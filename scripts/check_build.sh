@@ -15,6 +15,12 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# End-to-end serving smoke: boots a real vist_server on an ephemeral port
+# and runs a scripted QUERY/INSERT/STATS exchange over TCP (also part of
+# the ctest run above; called out here so a serving regression fails the
+# build gate by name).
+"$BUILD_DIR"/tests/server_smoke_test
+
 if [[ "${VIST_SKIP_STATIC:-0}" != "1" ]]; then
   # exit 77 = clang unavailable on this host; not a failure of the tree.
   scripts/check_static.sh || { rc=$?; [[ $rc -eq 77 ]] || exit $rc; }

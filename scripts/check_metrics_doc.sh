@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Metrics-name lint: every instrument registered in src/ must be listed in
-# docs/OBSERVABILITY.md (the complete operations reference). Registered as
-# the `metrics_doc_lint` ctest, so tier-1 fails on undocumented metrics.
+# Metrics-name lint, both directions:
+#   1. every instrument registered in src/ must have a row in
+#      docs/OBSERVABILITY.md (the complete operations reference), and
+#   2. every metric row in docs/OBSERVABILITY.md must correspond to an
+#      instrument actually registered in src/ — stale rows for removed
+#      metrics fail too, so the doc cannot drift into fiction.
+# Registered as the `metrics_doc_lint` ctest, so tier-1 fails on either.
 #
 # Relies on the repo convention that instrument names are string literals
 # at the GetCounter/GetGauge/GetHistogram call site (no name constants) —
-# docs/OBSERVABILITY.md documents that convention.
+# docs/OBSERVABILITY.md documents that convention. Doc rows are recognized
+# by their table shape: | `name` | counter/gauge/histogram... | meaning |
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,9 +37,21 @@ while IFS= read -r name; do
   fi
 done <<< "$names"
 
+# Reverse direction: metric table rows documenting nonexistent instruments.
+doc_names=$(grep -E '^\| `[^`]+` \| (counter|gauge|histogram)' "$DOC" \
+  | sed -E 's/^\| `([^`]+)`.*/\1/' | sort -u)
+
+while IFS= read -r name; do
+  [ -z "$name" ] && continue
+  if ! grep -qxF "$name" <<< "$names"; then
+    echo "FAIL: $DOC documents metric \"$name\" but nothing in src/ registers it" >&2
+    missing=1
+  fi
+done <<< "$doc_names"
+
 if [ "$missing" -ne 0 ]; then
-  echo "Add a row for each missing metric to $DOC (see its instructions)." >&2
+  echo "Keep $DOC and the Get* call sites in src/ in sync (see its instructions)." >&2
   exit 1
 fi
 
-echo "OK: $(echo "$names" | wc -l) registered metrics, all documented in $DOC"
+echo "OK: $(echo "$names" | wc -l) registered metrics, all documented in $DOC; $(echo "$doc_names" | wc -l) documented rows, all registered"

@@ -1,0 +1,157 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vist {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + strerror(errno));
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) {
+    // Close errors are unactionable here: the descriptor is gone either way
+    // and RAII teardown has nowhere to report.
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+  }
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  VIST_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Result<UniqueFd> AcceptConn(int listen_fd) {
+  int rc;
+  do {
+    rc = ::accept(listen_fd, nullptr, nullptr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("accept");
+  UniqueFd fd(rc);
+  VIST_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Status WaitReadable(int fd, int timeout_ms, bool* readable) {
+  *readable = false;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  // POLLHUP/POLLERR surface as readable: the next read reports the close
+  // or the error, which is how framing callers learn about them.
+  *readable = rc > 0;
+  return Status::OK();
+}
+
+Status ReadFull(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t rc = ::read(fd, buf + done, n - done);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (rc == 0) {
+      if (done == 0) return Status::NotFound("connection closed");
+      return Status::IOError("connection closed mid-read");
+    }
+    done += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(int fd, char* buf, size_t n) {
+  ssize_t rc;
+  do {
+    rc = ::read(fd, buf, n);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("read");
+  return static_cast<size_t>(rc);
+}
+
+Status WriteFull(int fd, const char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    // send + MSG_NOSIGNAL instead of write: a peer that closed mid-stream
+    // must surface as EPIPE, not as a process-killing SIGPIPE.
+    ssize_t rc = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    done += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+}  // namespace vist

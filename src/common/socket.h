@@ -1,0 +1,89 @@
+// TCP socket plumbing for the serving layer (src/server), with the same
+// Status discipline as the Env file seam: every syscall that can fail
+// returns a Status or Result, EINTR is retried internally, and descriptors
+// are owned by a move-only RAII handle so error paths cannot leak them.
+//
+// Scope is deliberately minimal — loopback/ordinary TCP, blocking I/O plus
+// a poll-based readiness wait — exactly what a length-prefixed frame
+// protocol needs. Non-blocking event loops, TLS, and address families
+// beyond IPv4 are out of scope until a workload needs them.
+
+#ifndef VIST_COMMON_SOCKET_H_
+#define VIST_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vist {
+
+/// A move-only owner of a file descriptor; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port; read it back with LocalPort). SO_REUSEADDR is set so
+/// restarting a server does not trip over TIME_WAIT.
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog = 64);
+
+/// The local port a bound socket ended up on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Connects to `host`:`port` (host is a dotted-quad IPv4 address, e.g.
+/// "127.0.0.1"). TCP_NODELAY is set: the serving protocol writes one frame
+/// per response and must not wait out Nagle's algorithm.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Accepts one connection on a listening socket (blocking). TCP_NODELAY is
+/// set on the accepted socket.
+Result<UniqueFd> AcceptConn(int listen_fd);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. `*readable` is
+/// false on timeout. Used by the server's accept and reader loops so a
+/// stop flag is observed within one timeout interval.
+Status WaitReadable(int fd, int timeout_ms, bool* readable);
+
+/// Reads exactly `n` bytes. Returns NotFound("connection closed") when the
+/// peer closed cleanly before the first byte, and IOError when it closed
+/// mid-read (a torn frame, from a framing caller's point of view) or the
+/// OS rejected the read.
+Status ReadFull(int fd, char* buf, size_t n);
+
+/// Reads at most `n` bytes, returning how many arrived (0 = clean close).
+Result<size_t> ReadSome(int fd, char* buf, size_t n);
+
+/// Writes all `n` bytes, retrying short writes.
+Status WriteFull(int fd, const char* buf, size_t n);
+
+}  // namespace vist
+
+#endif  // VIST_COMMON_SOCKET_H_

@@ -1,0 +1,97 @@
+#include "server/client.h"
+
+#include "common/coding.h"
+
+namespace vist {
+namespace server {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<Client>(new Client(std::move(fd).value()));
+}
+
+Status Client::Send(const Request& request) {
+  std::string frame;
+  EncodeRequest(request, &frame);
+  return WriteFull(fd_.get(), frame.data(), frame.size());
+}
+
+Result<Response> Client::Receive() {
+  char prefix[kLengthPrefixBytes];
+  VIST_RETURN_IF_ERROR(ReadFull(fd_.get(), prefix, sizeof(prefix)));
+  const uint32_t body_len = DecodeFixed32LE(prefix);
+  std::string body(body_len, '\0');
+  VIST_RETURN_IF_ERROR(ReadFull(fd_.get(), body.data(), body.size()));
+  Response resp;
+  VIST_RETURN_IF_ERROR(DecodeResponse(Slice(body), &resp));
+  return resp;
+}
+
+Result<Response> Client::RoundTrip(const Request& request) {
+  VIST_RETURN_IF_ERROR(Send(request));
+  auto resp = Receive();
+  if (!resp.ok()) return resp.status();
+  if (resp->id != request.id) {
+    return Status::IOError("response id " + std::to_string(resp->id) +
+                           " does not match request id " +
+                           std::to_string(request.id));
+  }
+  if (resp->status != WireStatus::kOk) {
+    return FromWireStatus(resp->status, resp->message);
+  }
+  return resp;
+}
+
+Result<std::vector<uint64_t>> Client::Query(std::string_view path,
+                                            bool verify) {
+  Request request;
+  request.op = Opcode::kQuery;
+  request.id = NextId();
+  request.verify = verify;
+  request.path = std::string(path);
+  auto resp = RoundTrip(request);
+  if (!resp.ok()) return resp.status();
+  return std::move(resp->doc_ids);
+}
+
+Status Client::Insert(std::string_view xml, uint64_t doc_id) {
+  Request request;
+  request.op = Opcode::kInsert;
+  request.id = NextId();
+  request.doc_id = doc_id;
+  request.xml = std::string(xml);
+  return RoundTrip(request).status();
+}
+
+Status Client::Delete(std::string_view xml, uint64_t doc_id) {
+  Request request;
+  request.op = Opcode::kDelete;
+  request.id = NextId();
+  request.doc_id = doc_id;
+  request.xml = std::string(xml);
+  return RoundTrip(request).status();
+}
+
+Status Client::Flush() {
+  Request request;
+  request.op = Opcode::kFlush;
+  request.id = NextId();
+  return RoundTrip(request).status();
+}
+
+Result<ServerStats> Client::Stats() {
+  Request request;
+  request.op = Opcode::kStats;
+  request.id = NextId();
+  auto resp = RoundTrip(request);
+  if (!resp.ok()) return resp.status();
+  ServerStats stats;
+  stats.index = resp->stats;
+  stats.epoch = resp->epoch;
+  return stats;
+}
+
+}  // namespace server
+}  // namespace vist

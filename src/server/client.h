@@ -1,0 +1,81 @@
+// A client for the vist_server wire protocol (server/protocol.h,
+// docs/SERVING.md).
+//
+// Two usage levels:
+//
+//   * Blocking RPCs — Query/Insert/Delete/Flush/Stats send one request and
+//     wait for its response. This is what applications and the
+//     mixed-workload bench use.
+//   * Pipelining — Send() and Receive() are exposed separately so
+//     harnesses can keep many requests in flight on one connection (the
+//     admission-control and shutdown-drain tests depend on this). Requests
+//     carry caller-visible ids; responses arrive in completion order, so a
+//     pipelining caller matches them by id.
+//
+// A Client is a single socket and is NOT thread-safe; serving harnesses
+// open one per thread.
+
+#ifndef VIST_SERVER_CLIENT_H_
+#define VIST_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace vist {
+namespace server {
+
+/// The STATS answer: engine statistics plus the mutation epoch.
+struct ServerStats {
+  IndexStats index;
+  uint64_t epoch = 0;
+};
+
+class Client {
+ public:
+  /// Connects to a vist_server at `host`:`port`.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  // --- blocking RPCs (send one request, wait for its response) ---
+
+  Result<std::vector<uint64_t>> Query(std::string_view path,
+                                      bool verify = false);
+  Status Insert(std::string_view xml, uint64_t doc_id);
+  Status Delete(std::string_view xml, uint64_t doc_id);
+  Status Flush();
+  Result<ServerStats> Stats();
+
+  // --- pipelining primitives ---
+
+  /// A fresh request id (monotone per connection).
+  uint64_t NextId() { return next_id_++; }
+
+  /// Encodes and writes one request frame without waiting.
+  Status Send(const Request& request);
+
+  /// Reads the next response frame (blocking). NotFound("connection
+  /// closed") on clean EOF.
+  Result<Response> Receive();
+
+ private:
+  explicit Client(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  /// Send + Receive + id check + wire-status mapping for the blocking RPCs.
+  Result<Response> RoundTrip(const Request& request);
+
+  UniqueFd fd_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace vist
+
+#endif  // VIST_SERVER_CLIENT_H_

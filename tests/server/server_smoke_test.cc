@@ -1,0 +1,84 @@
+// End-to-end server smoke test: boot a real server on an ephemeral port,
+// run a scripted QUERY/INSERT/STATS exchange over an actual TCP socket, and
+// shut down cleanly. This is the test scripts/check_build.sh calls out by
+// name — it proves the serving stack works as a whole, not just per layer.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "exec/caching_index.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace server {
+namespace {
+
+TEST(ServerSmokeTest, ScriptedExchangeOverEphemeralPort) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("vist_server_smoke_" + std::to_string(getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  auto created = VistIndex::Create(dir, VistOptions());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<VistIndex> index = std::move(created).value();
+
+  // The production shape: caching query side, direct write side.
+  exec::CachingIndex cache(index.get());
+  VistIndexWriter writer(index.get());
+  VistServer server(&cache, &writer, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0) << "ephemeral port was not assigned";
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto& client = *connected;
+
+  // Empty index: the query succeeds with no results.
+  auto ids = client->Query("/inventory/book");
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  EXPECT_TRUE(ids->empty());
+
+  // INSERT two documents, QUERY them back.
+  ASSERT_TRUE(client
+                  ->Insert("<inventory><book><title>ViST</title></book>"
+                           "</inventory>",
+                           1)
+                  .ok());
+  ASSERT_TRUE(client
+                  ->Insert("<inventory><cd><title>XML</title></cd>"
+                           "</inventory>",
+                           2)
+                  .ok());
+  ids = client->Query("/inventory/book");
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  EXPECT_EQ(*ids, std::vector<uint64_t>{1});
+  ids = client->Query("//title");
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  EXPECT_EQ(ids->size(), 2u);
+
+  // STATS sees both documents and a non-zero epoch.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->index.num_documents, 2u);
+  EXPECT_GT(stats->epoch, 0u);
+
+  // Clean shutdown: the client observes an orderly close, not an error
+  // mid-frame, and a second Stop() is a no-op.
+  server.Stop();
+  auto after = client->Query("/inventory/book");
+  EXPECT_FALSE(after.ok());
+  server.Stop();
+
+  index.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace vist
