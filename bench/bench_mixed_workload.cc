@@ -11,7 +11,7 @@
 // p50/p95/p99/max plus qps and server-side cost counters
 // (server.frames / server.batches / server.rejected deltas).
 //
-// Two scenario cells exercise the operational stories:
+// Three scenario cells exercise the operational stories:
 //   * writer_burst — a read-heavy cell where a burst thread slams
 //     back-to-back INSERTs through the wire at mid-window; the read tail
 //     shows what a deploy-time backfill does to the SLO.
@@ -19,6 +19,13 @@
 //     server stops, power loss is simulated, the index reopens (journal
 //     rollback), a new server comes up, and clients reconnect. Reports
 //     recovery_ms and the post-recovery qps.
+//   * deadline_storm — impatient clients (tight call_timeout_ms, so every
+//     request carries a v2 deadline_ms budget) hammer a deliberately
+//     under-provisioned server through a latency-injecting proxy. The
+//     deadline/shed/retry columns show the overload machinery working:
+//     queued work past its budget is shed unexecuted, clients time out
+//     locally instead of hanging, and retries stay inside the token
+//     budget.
 //
 // Emits BENCH_mixed_workload.json (schema in EXPERIMENTS.md).
 
@@ -38,6 +45,7 @@
 #include "exec/caching_index.h"
 #include "obs/metrics.h"
 #include "server/client.h"
+#include "server/fault_injection_transport.h"
 #include "server/server.h"
 #include "vist/vist_index.h"
 #include "xml/parser.h"
@@ -95,6 +103,12 @@ struct Cell {
   double qps = 0;
   double p50_us = 0, p95_us = 0, p99_us = 0, max_us = 0;
   uint64_t frames = 0, batches = 0, rejected = 0;
+  // Overload/fault columns (server + client counter deltas over the cell).
+  uint64_t deadline_exceeded = 0;  // kDeadlineExceeded responses
+  uint64_t shed = 0;               // of those, shed unexecuted from the queue
+  uint64_t retries = 0;            // client retry attempts
+  uint64_t reconnects = 0;         // client reconnects
+  uint64_t client_timeouts = 0;    // calls that timed out client-side
   double recovery_ms = 0;   // crash_recover only
   uint64_t burst_ops = 0;   // writer_burst only
 };
@@ -118,13 +132,27 @@ void FillLatencies(Cell* cell, std::vector<double>* latencies_us) {
 /// with probability `read_fraction`, otherwise alternates insert/delete in
 /// its private id range (above the corpus, so reads never see them and ids
 /// never collide across threads or cells). Records per-op round-trip
-/// latency into `lat_us`. Stops early — without failing the bench — when
-/// the server goes away (expected during the crash_recover blackout).
+/// latency into `lat_us`. A deadline error (the whole point of the
+/// deadline_storm cell) is counted in `timeouts` and the loop keeps going
+/// — the next blocking call reconnects; any other failure means the server
+/// went away (expected during the crash_recover blackout) and the client
+/// stops early without failing the bench.
 void ClientLoop(uint16_t port, int corpus_docs, double read_fraction,
                 double theta, uint64_t write_base,
                 const std::atomic<bool>& stop, std::vector<double>* lat_us,
-                uint64_t* reads, uint64_t* writes, uint64_t seed) {
-  auto connected = server::Client::Connect("127.0.0.1", port);
+                uint64_t* reads, uint64_t* writes, uint64_t* timeouts,
+                uint64_t seed, uint32_t call_timeout_ms,
+                bool heavy_reads) {
+  server::ClientOptions copts;
+  if (call_timeout_ms > 0) {
+    copts.call_timeout_ms = call_timeout_ms;
+    copts.call_slack_ms = 100;  // read late responses; keep connections sane
+    copts.max_attempts = 2;
+    copts.backoff_initial_ms = 1;
+    copts.backoff_max_ms = 5;
+    copts.jitter_seed = seed;
+  }
+  auto connected = server::Client::Connect("127.0.0.1", port, copts);
   if (!connected.ok()) return;
   auto client = std::move(connected).value();
   Random rng(seed);
@@ -135,8 +163,14 @@ void ClientLoop(uint16_t port, int corpus_docs, double read_fraction,
     const auto op_start = std::chrono::steady_clock::now();
     Status status;
     if (rng.Bernoulli(read_fraction)) {
+      // heavy_reads swaps the point lookup for the paper's branching-query
+      // shape, which fans out across every document — milliseconds of
+      // engine time, so server-side deadlines actually bind.
       const uint64_t doc = zipf.Next(&rng) + 1;
-      status = client->Query("/doc/u" + std::to_string(doc)).status();
+      status = client
+                   ->Query(heavy_reads ? std::string("/doc/*/leaf")
+                                       : "/doc/u" + std::to_string(doc))
+                   .status();
       if (status.ok()) ++*reads;
     } else {
       const std::string xml = UniqueDoc(write_base);
@@ -146,6 +180,10 @@ void ClientLoop(uint16_t port, int corpus_docs, double read_fraction,
         pending_insert = !pending_insert;
         ++*writes;
       }
+    }
+    if (status.IsDeadlineExceeded()) {
+      ++*timeouts;  // budget spent, not a dead server: keep going
+      continue;
     }
     if (!status.ok()) {
       alive = false;
@@ -164,7 +202,8 @@ void ClientLoop(uint16_t port, int corpus_docs, double read_fraction,
 /// (the scenario injection point: writer bursts, crash/recover).
 Cell RunCell(uint16_t port, int corpus_docs, double read_fraction,
              double theta, int threads, int window_ms,
-             std::function<void()> mid_window_hook = nullptr) {
+             std::function<void()> mid_window_hook = nullptr,
+             uint32_t call_timeout_ms = 0, bool heavy_reads = false) {
   Cell cell;
   cell.read_fraction = read_fraction;
   cell.theta = theta;
@@ -173,13 +212,20 @@ Cell RunCell(uint16_t port, int corpus_docs, double read_fraction,
   obs::Counter& frames = obs::GetCounter("server.frames");
   obs::Counter& batches = obs::GetCounter("server.batches");
   obs::Counter& rejected = obs::GetCounter("server.rejected");
+  obs::Counter& deadline_exceeded = obs::GetCounter("server.deadline_exceeded");
+  obs::Counter& shed = obs::GetCounter("server.shed");
+  obs::Counter& retries = obs::GetCounter("client.retries");
+  obs::Counter& reconnects = obs::GetCounter("client.reconnects");
   const uint64_t f0 = frames.value(), b0 = batches.value(),
                  r0 = rejected.value();
+  const uint64_t d0 = deadline_exceeded.value(), s0 = shed.value(),
+                 t0 = retries.value(), c0 = reconnects.value();
 
   std::atomic<bool> stop{false};
   std::vector<std::vector<double>> lat(static_cast<size_t>(threads));
   std::vector<uint64_t> reads(static_cast<size_t>(threads), 0);
   std::vector<uint64_t> writes(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> timeouts(static_cast<size_t>(threads), 0);
   std::vector<std::thread> workers;
   const auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
@@ -188,8 +234,9 @@ Cell RunCell(uint16_t port, int corpus_docs, double read_fraction,
       ClientLoop(port, corpus_docs, read_fraction, theta,
                  /*write_base=*/static_cast<uint64_t>(corpus_docs) + 1 +
                      static_cast<uint64_t>(t),
-                 stop, &lat[ut], &reads[ut], &writes[ut],
-                 kSeedBase + static_cast<uint64_t>(t) * 7919);
+                 stop, &lat[ut], &reads[ut], &writes[ut], &timeouts[ut],
+                 kSeedBase + static_cast<uint64_t>(t) * 7919,
+                 call_timeout_ms, heavy_reads);
     });
   }
   std::thread hook_thread;
@@ -211,6 +258,7 @@ Cell RunCell(uint16_t port, int corpus_docs, double read_fraction,
     all.insert(all.end(), lat[ut].begin(), lat[ut].end());
     cell.reads += reads[ut];
     cell.writes += writes[ut];
+    cell.client_timeouts += timeouts[ut];
   }
   cell.qps = elapsed_ms > 0
                  ? 1000.0 * static_cast<double>(all.size()) / elapsed_ms
@@ -219,6 +267,10 @@ Cell RunCell(uint16_t port, int corpus_docs, double read_fraction,
   cell.frames = frames.value() - f0;
   cell.batches = batches.value() - b0;
   cell.rejected = rejected.value() - r0;
+  cell.deadline_exceeded = deadline_exceeded.value() - d0;
+  cell.shed = shed.value() - s0;
+  cell.retries = retries.value() - t0;
+  cell.reconnects = reconnects.value() - c0;
   return cell;
 }
 
@@ -248,6 +300,35 @@ Cell RunWriterBurst(uint16_t port, int corpus_docs, int threads,
       });
   cell.scenario = "writer_burst";
   cell.burst_ops = completed.load();
+  return cell;
+}
+
+/// deadline_storm: a single-worker server over the *uncached* index (a
+/// cache hit would defeat the storm) behind a proxy that adds fixed
+/// latency, hammered by read-only clients issuing the expensive branching
+/// query with a call_timeout_ms close to the inflated round trip. Budgets
+/// expire in the queue behind the lone worker (shed, never executed) and
+/// mid-scan in the engine (cancelled cooperatively); calls time out
+/// client-side instead of hanging — the cell's deadline/shed/retry columns
+/// are the overload story in numbers.
+Cell RunDeadlineStorm(QueryableIndex* index, server::DocumentWriter* writer,
+                      int corpus_docs, int threads) {
+  server::ServerOptions server_options;
+  server_options.num_workers = 1;  // deliberately under-provisioned
+  server::VistServer server(index, writer, server_options);
+  CheckOk(server.Start(), "start storm server");
+  server::FaultInjectionOptions faults;
+  faults.latency_ms = 2;  // per forwarded chunk, both directions
+  server::FaultInjectionTransport proxy("127.0.0.1", server.port(), faults);
+  CheckOk(proxy.Start(), "start storm proxy");
+
+  Cell cell = RunCell(proxy.port(), corpus_docs, /*read_fraction=*/1.0,
+                      /*theta=*/0.8, threads, /*window_ms=*/2 * kWindowMs,
+                      /*mid_window_hook=*/nullptr, /*call_timeout_ms=*/8,
+                      /*heavy_reads=*/true);
+  cell.scenario = "deadline_storm";
+  server.Stop();
+  proxy.Stop();
   return cell;
 }
 
@@ -328,6 +409,9 @@ void WriteJson(const std::vector<Cell>& cells, int docs) {
             "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
             "\"max_us\": %.1f, \"reads\": %llu, \"writes\": %llu, "
             "\"frames\": %llu, \"batches\": %llu, \"rejected\": %llu, "
+            "\"deadline_exceeded\": %llu, \"shed\": %llu, "
+            "\"retries\": %llu, \"reconnects\": %llu, "
+            "\"client_timeouts\": %llu, "
             "\"recovery_ms\": %.1f, \"burst_ops\": %llu}%s\n",
             cell.scenario.c_str(), cell.read_fraction, cell.theta,
             cell.threads, cell.qps, cell.p50_us, cell.p95_us, cell.p99_us,
@@ -336,6 +420,11 @@ void WriteJson(const std::vector<Cell>& cells, int docs) {
             static_cast<unsigned long long>(cell.frames),
             static_cast<unsigned long long>(cell.batches),
             static_cast<unsigned long long>(cell.rejected),
+            static_cast<unsigned long long>(cell.deadline_exceeded),
+            static_cast<unsigned long long>(cell.shed),
+            static_cast<unsigned long long>(cell.retries),
+            static_cast<unsigned long long>(cell.reconnects),
+            static_cast<unsigned long long>(cell.client_timeouts),
             cell.recovery_ms, static_cast<unsigned long long>(cell.burst_ops),
             i + 1 < cells.size() ? "," : "");
   }
@@ -355,6 +444,15 @@ void PrintSummary(const std::vector<Cell>& cells) {
            cell.max_us);
     if (cell.scenario == "crash_recover") {
       printf("%-14s   recovery_ms=%.1f\n", "", cell.recovery_ms);
+    }
+    if (cell.scenario == "deadline_storm") {
+      printf("%-14s   deadline_exceeded=%llu shed=%llu retries=%llu "
+             "reconnects=%llu client_timeouts=%llu\n",
+             "", static_cast<unsigned long long>(cell.deadline_exceeded),
+             static_cast<unsigned long long>(cell.shed),
+             static_cast<unsigned long long>(cell.retries),
+             static_cast<unsigned long long>(cell.reconnects),
+             static_cast<unsigned long long>(cell.client_timeouts));
     }
   }
   printf("\nFull cells in BENCH_mixed_workload.json; schema and analysis "
@@ -386,6 +484,8 @@ void Run() {
       RunWriterBurst(server.port(), corpus.docs, /*threads=*/4,
                      /*burst_ops=*/Scaled(200)));
   server.Stop();
+  cells.push_back(RunDeadlineStorm(corpus.index.get(), &writer, corpus.docs,
+                                   /*threads=*/8));
   cells.push_back(RunCrashRecover(/*threads=*/2));
 
   WriteJson(cells, docs);

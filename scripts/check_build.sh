@@ -21,6 +21,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # build gate by name).
 "$BUILD_DIR"/tests/server_smoke_test
 
+# Robustness suites (deadline/cancellation, protocol fuzz, fault-injection
+# proxy, chaos storm). Also part of the full run above; rerun by label so a
+# fault-tolerance regression fails the gate by name.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L faults
+
 if [[ "${VIST_SKIP_STATIC:-0}" != "1" ]]; then
   # exit 77 = clang unavailable on this host; not a failure of the tree.
   scripts/check_static.sh || { rc=$?; [[ $rc -eq 77 ]] || exit $rc; }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the concurrent read path: builds the tree with
 # TSan (VIST_SANITIZE=thread) and runs the concurrency stress suites (label:
-# stress) plus the storage and vist suites, so both the new latching and the
-# pre-existing single-threaded paths are exercised under the race detector.
+# stress), the fault-injection/chaos suites (label: faults), and the storage
+# and vist suites, so both the new latching and the pre-existing
+# single-threaded paths are exercised under the race detector.
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
@@ -15,9 +16,10 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target storage_concurrency_test vist_concurrent_query_test \
            exec_caching_stress_test server_stress_test server_test \
+           server_fault_transport_test server_chaos_test \
            storage_test vist_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(storage_concurrency_test|vist_concurrent_query_test|exec_caching_stress_test|server_stress_test|server_test|storage_test|vist_test)$'
+  -R '^(storage_concurrency_test|vist_concurrent_query_test|exec_caching_stress_test|server_stress_test|server_test|server_fault_transport_test|server_chaos_test|storage_test|vist_test)$'

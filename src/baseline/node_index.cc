@@ -130,10 +130,12 @@ Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   return status;
 }
 
-Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(Symbol symbol) {
+Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(
+    Symbol symbol, DeadlineChecker* checker) {
   std::vector<Region> regions;
   const std::string lo = EncodeRegionKey(symbol, 0, 0);
   auto it = tree_->NewIterator();
+  it->set_deadline_checker(checker);
   for (it->Seek(lo); it->Valid(); it->Next()) {
     if (DecodeFixed64BE(it->key().data()) != symbol) break;
     Region region;
@@ -147,13 +149,15 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(Symbol symbol) {
   return regions;
 }
 
-Result<std::vector<NodeIndex::Region>> NodeIndex::FetchAllNames() {
+Result<std::vector<NodeIndex::Region>> NodeIndex::FetchAllNames(
+    DeadlineChecker* checker) {
   // '*' has no posting of its own: scan every name symbol (this full-index
   // cost is precisely why the paper's Q3/Q4 hurt node indexes).
   std::vector<Region> regions;
   const std::string lo = EncodeRegionKey(1, 0, 0);
   const std::string hi = EncodeRegionKey(kStarSymbol, 0, 0);
   auto it = tree_->NewIterator();
+  it->set_deadline_checker(checker);
   for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0; it->Next()) {
     Region region;
     region.doc = DecodeFixed64BE(it->key().data() + 8);
@@ -167,12 +171,15 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::FetchAllNames() {
   return regions;
 }
 
-std::vector<NodeIndex::Region> NodeIndex::StructuralJoin(
+Result<std::vector<NodeIndex::Region>> NodeIndex::StructuralJoin(
     const std::vector<Region>& parents, const std::vector<Region>& children,
-    bool parent_child, uint64_t* joins) {
+    bool parent_child, uint64_t* joins, DeadlineChecker* checker) {
   ++*joins;
   std::vector<Region> result;
   for (const Region& parent : parents) {
+    if (checker != nullptr && checker->Expired()) {
+      return Status::DeadlineExceeded("deadline expired during join");
+    }
     // Children of interest: same doc, start in (parent.start, parent.end].
     Region probe;
     probe.doc = parent.doc;
@@ -191,16 +198,19 @@ std::vector<NodeIndex::Region> NodeIndex::StructuralJoin(
 }
 
 Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
-    const query::QueryNode& node, uint64_t* joins) {
+    const query::QueryNode& node, uint64_t* joins, DeadlineChecker* checker) {
   using query::QueryNode;
+  if (checker != nullptr && checker->Expired()) {
+    return Status::DeadlineExceeded("deadline expired during evaluation");
+  }
   std::vector<Region> candidates;
   if (node.kind == QueryNode::Kind::kStar) {
-    VIST_ASSIGN_OR_RETURN(candidates, FetchAllNames());
+    VIST_ASSIGN_OR_RETURN(candidates, FetchAllNames(checker));
   } else {
     VIST_CHECK(node.kind == QueryNode::Kind::kName);
     auto symbol = symtab_->Lookup(node.name);
     if (!symbol.ok()) return std::vector<Region>{};  // name never indexed
-    VIST_ASSIGN_OR_RETURN(candidates, FetchSymbol(*symbol));
+    VIST_ASSIGN_OR_RETURN(candidates, FetchSymbol(*symbol, checker));
   }
   for (const auto& child : node.children) {
     if (candidates.empty()) break;
@@ -208,26 +218,30 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
       case QueryNode::Kind::kValue: {
         VIST_ASSIGN_OR_RETURN(
             std::vector<Region> values,
-            FetchSymbol(SymbolTable::ValueSymbol(child->value)));
-        candidates =
-            StructuralJoin(candidates, values, /*parent_child=*/true, joins);
+            FetchSymbol(SymbolTable::ValueSymbol(child->value), checker));
+        VIST_ASSIGN_OR_RETURN(
+            candidates, StructuralJoin(candidates, values,
+                                       /*parent_child=*/true, joins, checker));
         break;
       }
       case QueryNode::Kind::kName:
       case QueryNode::Kind::kStar: {
         VIST_ASSIGN_OR_RETURN(std::vector<Region> kids,
-                              EvalStep(*child, joins));
-        candidates =
-            StructuralJoin(candidates, kids, /*parent_child=*/true, joins);
+                              EvalStep(*child, joins, checker));
+        VIST_ASSIGN_OR_RETURN(
+            candidates, StructuralJoin(candidates, kids,
+                                       /*parent_child=*/true, joins, checker));
         break;
       }
       case QueryNode::Kind::kDescendant: {
         // The single target below '//' may sit at any depth.
         for (const auto& target : child->children) {
           VIST_ASSIGN_OR_RETURN(std::vector<Region> kids,
-                                EvalStep(*target, joins));
-          candidates =
-              StructuralJoin(candidates, kids, /*parent_child=*/false, joins);
+                                EvalStep(*target, joins, checker));
+          VIST_ASSIGN_OR_RETURN(
+              candidates,
+              StructuralJoin(candidates, kids, /*parent_child=*/false, joins,
+                             checker));
         }
         break;
       }
@@ -276,8 +290,9 @@ Result<std::vector<uint64_t>> NodeIndex::QueryWithPlan(
   }
   ReaderLock lock(mu_);
   obs::ProfileScope scope(profile);
+  DeadlineChecker checker(options.deadline);
   uint64_t query_joins = 0;
-  auto result = EvalTree(node_plan->tree(), &query_joins);
+  auto result = EvalTree(node_plan->tree(), &query_joins, &checker);
   last_query_joins_.store(query_joins, std::memory_order_relaxed);
   joins.Increment(query_joins);
   if (profile != nullptr) {
@@ -293,16 +308,17 @@ Result<std::vector<uint64_t>> NodeIndex::QueryWithPlan(
 }
 
 Result<std::vector<uint64_t>> NodeIndex::EvalTree(const query::QueryTree& tree,
-                                                  uint64_t* joins) {
+                                                  uint64_t* joins,
+                                                  DeadlineChecker* checker) {
   std::vector<Region> matches;
   if (tree.root->kind == query::QueryNode::Kind::kDescendant) {
     for (const auto& target : tree.root->children) {
       VIST_ASSIGN_OR_RETURN(std::vector<Region> some,
-                            EvalStep(*target, joins));
+                            EvalStep(*target, joins, checker));
       matches.insert(matches.end(), some.begin(), some.end());
     }
   } else {
-    VIST_ASSIGN_OR_RETURN(matches, EvalStep(*tree.root, joins));
+    VIST_ASSIGN_OR_RETURN(matches, EvalStep(*tree.root, joins, checker));
     // Absolute path: the first step must be the document root.
     matches.erase(std::remove_if(matches.begin(), matches.end(),
                                  [](const Region& region) {

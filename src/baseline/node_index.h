@@ -116,22 +116,28 @@ class NodeIndex : public QueryableIndex {
 
   /// Plan body: bottom-up structural-join evaluation of the query tree.
   /// The join count accumulates into `*joins` (local to the query) so
-  /// concurrent queries don't scribble on one shared member.
+  /// concurrent queries don't scribble on one shared member. `checker`
+  /// (borrowed, possibly null) supplies the cooperative-cancellation
+  /// checkpoints for the posting scans and join loops.
   Result<std::vector<uint64_t>> EvalTree(const query::QueryTree& tree,
-                                         uint64_t* joins)
+                                         uint64_t* joins,
+                                         DeadlineChecker* checker)
       VIST_REQUIRES_SHARED(mu_);
 
   Status PutRegion(Symbol symbol, const Region& region) VIST_REQUIRES(mu_);
-  Result<std::vector<Region>> FetchSymbol(Symbol symbol)
+  Result<std::vector<Region>> FetchSymbol(Symbol symbol,
+                                          DeadlineChecker* checker)
       VIST_REQUIRES_SHARED(mu_);
-  Result<std::vector<Region>> FetchAllNames() VIST_REQUIRES_SHARED(mu_);
+  Result<std::vector<Region>> FetchAllNames(DeadlineChecker* checker)
+      VIST_REQUIRES_SHARED(mu_);
 
   Result<std::vector<Region>> EvalStep(const query::QueryNode& node,
-                                       uint64_t* joins)
+                                       uint64_t* joins,
+                                       DeadlineChecker* checker)
       VIST_REQUIRES_SHARED(mu_);
-  std::vector<Region> StructuralJoin(const std::vector<Region>& parents,
-                                     const std::vector<Region>& children,
-                                     bool parent_child, uint64_t* joins);
+  Result<std::vector<Region>> StructuralJoin(
+      const std::vector<Region>& parents, const std::vector<Region>& children,
+      bool parent_child, uint64_t* joins, DeadlineChecker* checker);
 
   /// Readers/writer lock: Query shared, InsertDocument exclusive (same
   /// shape as VistIndex::mu_, above the storage latches in lock order).

@@ -206,7 +206,7 @@ Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
 }
 
 Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
-    const std::vector<Symbol>& pattern) {
+    const std::vector<Symbol>& pattern, DeadlineChecker* checker) {
   // Split the pattern into the concrete head and the wildcard-bearing rest.
   std::vector<Symbol> known;
   size_t stars = 0;
@@ -233,9 +233,13 @@ Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
     const std::string partial = EncodePathKeyPartial(len, known);
     const std::string end = PrefixRangeEnd(partial);
     auto it = tree_->NewIterator();
+    it->set_deadline_checker(checker);
     for (it->Seek(partial);
          it->Valid() && (end.empty() || it->key().Compare(end) < 0);
          it->Next()) {
+      if (checker != nullptr && checker->Expired()) {
+        return Status::DeadlineExceeded("deadline expired during path scan");
+      }
       std::vector<Symbol> path;
       uint64_t doc_id = 0;
       if (!DecodePathEntryKey(it->key(), &path, &doc_id)) {
@@ -296,6 +300,7 @@ Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
   }
   ReaderLock lock(mu_);
   obs::ProfileScope scope(profile);
+  DeadlineChecker checker(options.deadline);
   uint64_t query_joins = 0;
   Result<std::vector<uint64_t>> result = std::vector<uint64_t>{};
   bool answered = false;
@@ -312,7 +317,8 @@ Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
     answered = true;  // a name the index never saw: provably empty
   }
   if (!answered) {
-    result = EvalLeafPatterns(path_plan->leaf_paths(), &query_joins);
+    result = EvalLeafPatterns(path_plan->leaf_paths(), &query_joins,
+                              &checker);
   }
   last_query_joins_.store(query_joins, std::memory_order_relaxed);
   joins.Increment(query_joins);
@@ -343,12 +349,13 @@ Result<std::vector<uint64_t>> PathIndex::ReadRefinedPosting(
 }
 
 Result<std::vector<uint64_t>> PathIndex::EvalLeafPatterns(
-    const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins) {
+    const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins,
+    DeadlineChecker* checker) {
   std::vector<uint64_t> result;
   bool first = true;
   for (const std::vector<Symbol>& pattern : patterns) {
     VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> docs,
-                          EvalPathPattern(pattern));
+                          EvalPathPattern(pattern, checker));
     if (first) {
       result = std::move(docs);
       first = false;

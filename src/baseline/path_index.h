@@ -132,15 +132,18 @@ class PathIndex : public QueryableIndex {
 
   /// Plan body: evaluates each leaf-path pattern and intersects (joins)
   /// the doc-id sets. Join count goes to `*joins` (local to the query) so
-  /// concurrent queries don't scribble on one shared member.
+  /// concurrent queries don't scribble on one shared member. `checker`
+  /// (borrowed, possibly null) supplies the cooperative-cancellation
+  /// checkpoints for the scan loops.
   Result<std::vector<uint64_t>> EvalLeafPatterns(
-      const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins)
-      VIST_REQUIRES_SHARED(mu_);
+      const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins,
+      DeadlineChecker* checker) VIST_REQUIRES_SHARED(mu_);
 
   /// Doc ids whose documents contain a path matching `pattern` (symbols
   /// with possible kStarSymbol / kDescendantSymbol).
   Result<std::vector<uint64_t>> EvalPathPattern(
-      const std::vector<Symbol>& pattern) VIST_REQUIRES_SHARED(mu_);
+      const std::vector<Symbol>& pattern, DeadlineChecker* checker)
+      VIST_REQUIRES_SHARED(mu_);
 
   /// Scans one refined path's posting list.
   Result<std::vector<uint64_t>> ReadRefinedPosting(uint32_t refined_id)

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -67,7 +68,8 @@ Result<uint16_t> LocalPort(int fd) {
   return static_cast<uint16_t>(ntohs(addr.sin_port));
 }
 
-Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return Errno("socket");
   sockaddr_in addr{};
@@ -76,12 +78,43 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
+  // Non-blocking connect + poll(POLLOUT): a peer that never answers the
+  // SYN costs at most `timeout_ms` instead of the kernel's retransmit
+  // schedule (minutes).
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
   int rc;
   do {
     rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                    sizeof(addr));
   } while (rc != 0 && errno == EINTR);
-  if (rc != 0) return Errno("connect");
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    pollfd pfd{};
+    pfd.fd = fd.get();
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Errno("poll");
+    if (rc == 0) {
+      return Status::DeadlineExceeded("connect to " + host + ":" +
+                                      std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      return Errno("connect");
+    }
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) != 0) return Errno("fcntl(F_SETFL)");
   VIST_RETURN_IF_ERROR(SetNoDelay(fd.get()));
   return fd;
 }
@@ -126,6 +159,29 @@ Status ReadFull(int fd, char* buf, size_t n) {
       return Status::IOError("connection closed mid-read");
     }
     done += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status ReadFullDeadline(int fd, char* buf, size_t n,
+                        const Deadline& deadline) {
+  size_t done = 0;
+  while (done < n) {
+    if (deadline.has_deadline()) {
+      const int wait_ms = deadline.remaining_millis();
+      if (wait_ms == 0) {
+        return Status::DeadlineExceeded("read timed out");
+      }
+      bool readable = false;
+      VIST_RETURN_IF_ERROR(WaitReadable(fd, wait_ms, &readable));
+      if (!readable) return Status::DeadlineExceeded("read timed out");
+    }
+    VIST_ASSIGN_OR_RETURN(size_t got, ReadSome(fd, buf + done, n - done));
+    if (got == 0) {
+      if (done == 0) return Status::NotFound("connection closed");
+      return Status::IOError("connection closed mid-read");
+    }
+    done += got;
   }
   return Status::OK();
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -61,7 +62,14 @@ Result<uint16_t> LocalPort(int fd);
 /// Connects to `host`:`port` (host is a dotted-quad IPv4 address, e.g.
 /// "127.0.0.1"). TCP_NODELAY is set: the serving protocol writes one frame
 /// per response and must not wait out Nagle's algorithm.
-Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+///
+/// `timeout_ms` bounds the connect itself (-1 = wait forever). The connect
+/// always runs non-blocking + poll, so a black-holed peer (SYN never
+/// answered) surfaces as DeadlineExceeded after the timeout instead of
+/// hanging the caller in ::connect for the kernel's multi-minute SYN
+/// retransmit schedule.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms = -1);
 
 /// Accepts one connection on a listening socket (blocking). TCP_NODELAY is
 /// set on the accepted socket.
@@ -77,6 +85,13 @@ Status WaitReadable(int fd, int timeout_ms, bool* readable);
 /// mid-read (a torn frame, from a framing caller's point of view) or the
 /// OS rejected the read.
 Status ReadFull(int fd, char* buf, size_t n);
+
+/// ReadFull bounded by a deadline: polls before each read and returns
+/// DeadlineExceeded once the budget is gone (bytes already consumed from
+/// the stream stay consumed — the caller must treat the connection as
+/// desynchronized). An infinite deadline behaves exactly like ReadFull.
+Status ReadFullDeadline(int fd, char* buf, size_t n,
+                        const Deadline& deadline);
 
 /// Reads at most `n` bytes, returning how many arrived (0 = clean close).
 Result<size_t> ReadSome(int fd, char* buf, size_t n);

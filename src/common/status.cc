@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "ScopeOverflow";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotSupported = 5,     // a documented limitation was hit
   kScopeOverflow = 6,    // dynamic labeling exhausted even borrowed scopes
   kParseError = 7,       // XML or path-expression text is malformed
+  kDeadlineExceeded = 8,  // the caller's deadline passed before completion
 };
 
 /// A cheap, copyable success-or-error value. `Status::OK()` carries no
@@ -60,6 +61,9 @@ class [[nodiscard]] Status {
   static Status ParseError(std::string_view msg) {
     return Status(StatusCode::kParseError, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -71,6 +75,9 @@ class [[nodiscard]] Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsScopeOverflow() const { return code_ == StatusCode::kScopeOverflow; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -37,7 +37,10 @@ struct CacheMetrics {
 };
 
 // Every QueryOptions field that changes what a query returns (or how it
-// compiles) goes into the key; the profile sink explicitly does not.
+// compiles) goes into the key; the profile sink explicitly does not, and
+// neither does the deadline — it changes whether a query completes, never
+// what a completed query returns (expired queries fail, and ServeResult
+// only caches ok() results, so a partial answer can never be inserted).
 std::string CacheKey(std::string_view normalized_path,
                      const QueryOptions& options) {
   std::string key(normalized_path);

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "obs/query_profile.h"
 
@@ -54,6 +55,14 @@ struct QueryOptions {
   /// extents, candidate vs. verified result counts, and wall time. The
   /// caller owns it; fields accumulate, so reuse across queries sums.
   obs::QueryProfile* profile = nullptr;
+  /// Cooperative cancellation: engines checkpoint their scan loops against
+  /// this deadline and return DeadlineExceeded within a bounded number of
+  /// additional index-node visits once it passes (common/deadline.h).
+  /// Default: infinite (no cancellation overhead beyond one branch per
+  /// checkpoint). The deadline changes whether a query completes, never
+  /// what a completed query returns, so caches must exclude it from their
+  /// keys (exec::CachingIndex does).
+  Deadline deadline;
 };
 
 /// Size and cardinality statistics. Engines fill the fields they track and

@@ -1,0 +1,138 @@
+// FaultInjectionTransport: a TCP proxy test double for the serving path —
+// the socket-seam sibling of common/fault_injection_env.h.
+//
+// It listens on an ephemeral loopback port and forwards every accepted
+// connection to the real server, injecting network misbehavior on the way:
+//
+//   * latency_ms      — every forwarded chunk is delayed
+//   * stall_*         — a chunk occasionally parks for stall_ms (a slow or
+//                       head-of-line-blocked network)
+//   * torn_*          — a chunk occasionally forwards only a prefix and
+//                       the connection is reset (a frame torn mid-flight)
+//   * reset_*         — a connection occasionally dies with a TCP RST
+//   * set_blackhole() — forwarding pauses entirely (packets "in flight"
+//                       never arrive) until switched off
+//   * ResetAllConnections() — every live link is RST at once (a network
+//                       partition snapping shut)
+//
+// All randomness is a seeded xoshiro stream per link, so a failing chaos
+// run replays. Each link is pumped by one thread that owns both sockets
+// and polls both directions — no descriptor is ever touched from two
+// threads, which keeps the proxy itself trivially data-race-free under
+// TSan while the code under test misbehaves.
+//
+// Thread-safe: the knobs and counters may be flipped/read from the test
+// thread while pumps run.
+
+#ifndef VIST_SERVER_FAULT_INJECTION_TRANSPORT_H_
+#define VIST_SERVER_FAULT_INJECTION_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace vist {
+namespace server {
+
+struct FaultInjectionOptions {
+  /// Seed for the per-link fault streams (link i uses seed + i).
+  uint64_t seed = 42;
+  /// Delay added to every forwarded chunk.
+  int latency_ms = 0;
+  /// Per-chunk probability of a stall_ms pause before forwarding.
+  double stall_probability = 0.0;
+  int stall_ms = 100;
+  /// Per-chunk probability of killing the link with a TCP RST.
+  double reset_probability = 0.0;
+  /// Per-chunk probability of forwarding only a prefix of the chunk and
+  /// then resetting — a frame torn mid-flight.
+  double torn_probability = 0.0;
+};
+
+class FaultInjectionTransport {
+ public:
+  /// Proxies to `upstream_host`:`upstream_port` (typically a VistServer's
+  /// loopback port).
+  FaultInjectionTransport(std::string upstream_host, uint16_t upstream_port,
+                          const FaultInjectionOptions& options = {});
+
+  /// Stops and joins everything.
+  ~FaultInjectionTransport();
+
+  FaultInjectionTransport(const FaultInjectionTransport&) = delete;
+  FaultInjectionTransport& operator=(const FaultInjectionTransport&) = delete;
+
+  /// Binds the listener and starts accepting. Clients connect to port().
+  Status Start();
+
+  /// Closes the listener and every link; joins all threads. Idempotent.
+  void Stop();
+
+  /// The proxy's listening port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// While on, nothing is forwarded in either direction on any link —
+  /// connections stay open but appear frozen.
+  void set_blackhole(bool on) {
+    blackhole_.store(on, std::memory_order_release);
+  }
+
+  /// Sends a TCP RST on every currently-live link.
+  void ResetAllConnections();
+
+  uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t resets() const { return resets_.load(std::memory_order_relaxed); }
+  uint64_t torn() const { return torn_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One proxied connection. Both sockets are owned and exclusively
+  /// touched by the link's pump thread; the only cross-thread signal is
+  /// the reset flag.
+  struct Link {
+    UniqueFd client;
+    UniqueFd upstream;
+    std::atomic<bool> reset_requested{false};
+  };
+
+  void AcceptLoop();
+  void PumpLoop(std::shared_ptr<Link> link, uint64_t link_seed);
+
+  /// Sleeps `ms` in small slices, returning early on Stop().
+  void SleepInterruptible(int ms) const;
+
+  const std::string upstream_host_;
+  const uint16_t upstream_port_;
+  const FaultInjectionOptions options_;
+
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> blackhole_{false};
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> torn_{0};
+
+  Mutex mu_;
+  std::vector<std::shared_ptr<Link>> links_ VIST_GUARDED_BY(mu_);
+  std::vector<std::thread> pumps_ VIST_GUARDED_BY(mu_);
+
+  std::thread accept_thread_;
+};
+
+}  // namespace server
+}  // namespace vist
+
+#endif  // VIST_SERVER_FAULT_INJECTION_TRANSPORT_H_

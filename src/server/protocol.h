@@ -3,12 +3,18 @@
 // Every frame is a 4-byte little-endian body length followed by the body:
 //
 //   frame    := length(u32 LE) body
-//   body     := version(u8) opcode(u8) request_id(u64 LE) payload
+//   body     := version(u8) opcode(u8) request_id(u64 LE) payload    (v1)
+//   body     := version(u8) opcode(u8) request_id(u64 LE)
+//               deadline_ms(u32 LE) payload                          (v2)
 //
 // The length counts body bytes only (so an empty-payload frame has length
-// 10). `version` is a compatibility byte: a server answers frames whose
-// version it speaks and rejects others with kMalformed, which is what lets
-// the format evolve without ambiguity. `request_id` is an opaque client
+// 10 at v1, 14 at v2). `version` is a compatibility byte: a server answers
+// frames whose version it speaks and rejects others with kMalformed, which
+// is what lets the format evolve without ambiguity. Version 2 adds a
+// per-request deadline to request bodies — `deadline_ms` milliseconds of
+// budget measured from server receipt, 0 meaning none — and changes
+// nothing else: v1 requests still decode (deadline_ms = 0) and responses
+// are byte-identical under both versions. `request_id` is an opaque client
 // token echoed verbatim in the response, so clients may pipeline requests
 // and match answers out of order.
 //
@@ -37,9 +43,13 @@
 namespace vist {
 namespace server {
 
-/// The protocol version this tree speaks. Bump on any incompatible frame
-/// layout change; document the delta in docs/SERVING.md.
-constexpr uint8_t kProtocolVersion = 1;
+/// The newest protocol version this tree speaks (it also still decodes
+/// version 1 requests). Bump on any frame layout change; document the
+/// delta in docs/SERVING.md.
+constexpr uint8_t kProtocolVersion = 2;
+
+/// Oldest request version still accepted.
+constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Bytes of the frame length prefix (u32 LE).
 constexpr size_t kLengthPrefixBytes = 4;
@@ -58,7 +68,7 @@ enum class Opcode : uint8_t {
 
 constexpr uint8_t kResponseBit = 0x80;
 
-/// One-byte status in every response. Values 1..7 mirror vist::StatusCode;
+/// One-byte status in every response. Values 1..8 mirror vist::StatusCode;
 /// 16+ are protocol-level conditions with no engine-side equivalent.
 enum class WireStatus : uint8_t {
   kOk = 0,
@@ -69,6 +79,7 @@ enum class WireStatus : uint8_t {
   kNotSupported = 5,
   kScopeOverflow = 6,
   kParseError = 7,
+  kDeadlineExceeded = 8,  // the request's deadline_ms budget ran out
   kBusy = 16,           // admission control: server-wide in-flight cap hit
   kShuttingDown = 17,   // server is draining; request was not executed
   kFrameTooLarge = 18,  // declared length exceeds the cap; connection closes
@@ -79,6 +90,9 @@ enum class WireStatus : uint8_t {
 struct Request {
   Opcode op = Opcode::kQuery;
   uint64_t id = 0;       // echoed in the response
+  /// Deadline budget in milliseconds from server receipt; 0 = none.
+  /// Only v2 frames carry it — a v1 request decodes with 0.
+  uint32_t deadline_ms = 0;
   bool verify = false;   // kQuery
   std::string path;      // kQuery
   uint64_t doc_id = 0;   // kInsert / kDelete
@@ -97,7 +111,11 @@ struct Response {
 };
 
 /// Appends the complete frame (length prefix + body) for `req` to `out`.
-void EncodeRequest(const Request& req, std::string* out);
+/// `version` selects the request layout (v1 omits the deadline_ms field —
+/// tests use it to prove backward compatibility); out-of-range versions
+/// are a programming error.
+void EncodeRequest(const Request& req, std::string* out,
+                   uint8_t version = kProtocolVersion);
 
 /// Appends the complete frame for `resp` to `out`.
 void EncodeResponse(const Response& resp, std::string* out);

@@ -51,6 +51,14 @@ obs::Counter& WriteErrorsCounter() {
   static obs::Counter& c = obs::GetCounter("server.write_errors");
   return c;
 }
+obs::Counter& ShedCounter() {
+  static obs::Counter& c = obs::GetCounter("server.shed");
+  return c;
+}
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter& c = obs::GetCounter("server.deadline_exceeded");
+  return c;
+}
 obs::Histogram& RequestLatencyHistogram() {
   static obs::Histogram& h = obs::GetHistogram("server.request_latency_us");
   return h;
@@ -287,8 +295,13 @@ bool VistServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       reject = WireStatus::kBusy;
     } else {
       ++inflight_total_;
+      // The deadline budget is anchored here, at admission: queueing time
+      // spends it, which is what lets workers shed stale work later.
+      const Deadline deadline = request.deadline_ms > 0
+                                    ? Deadline::AfterMillis(request.deadline_ms)
+                                    : Deadline();
       queue_.push_back(Work{conn, std::move(request),
-                            std::chrono::steady_clock::now()});
+                            std::chrono::steady_clock::now(), deadline});
     }
   }
   if (reject != WireStatus::kOk) {
@@ -328,8 +341,26 @@ void VistServer::WorkerLoop() {
     }
     BatchesCounter().Increment();
     for (Work& work : batch) {
-      if (options_.pre_dispatch_hook) options_.pre_dispatch_hook(work.request);
-      const Response resp = HandleRequest(work.request);
+      Response resp;
+      if (work.deadline.expired()) {
+        // Shed without executing: the budget was spent waiting in the
+        // queue, so running the request now only wastes worker time the
+        // still-live requests behind it need.
+        resp.op = work.request.op;
+        resp.id = work.request.id;
+        resp.status = WireStatus::kDeadlineExceeded;
+        resp.message = "deadline expired before dispatch";
+        ShedCounter().Increment();
+        DeadlineExceededCounter().Increment();
+      } else {
+        if (options_.pre_dispatch_hook) {
+          options_.pre_dispatch_hook(work.request);
+        }
+        resp = HandleRequest(work.request, work.deadline);
+        if (resp.status == WireStatus::kDeadlineExceeded) {
+          DeadlineExceededCounter().Increment();
+        }
+      }
       WriteResponse(work.conn, resp);
       const auto elapsed =
           std::chrono::steady_clock::now() - work.admitted_at;
@@ -351,7 +382,8 @@ void VistServer::WorkerLoop() {
   }
 }
 
-Response VistServer::HandleRequest(const Request& request) {
+Response VistServer::HandleRequest(const Request& request,
+                                   const Deadline& deadline) {
   Response resp;
   resp.op = request.op;
   resp.id = request.id;
@@ -360,6 +392,9 @@ Response VistServer::HandleRequest(const Request& request) {
     case Opcode::kQuery: {
       QueryOptions query_options;
       query_options.verify = request.verify;
+      // Only queries are cancelled: a mutation abandoned halfway would
+      // leave more mess than finishing it costs.
+      query_options.deadline = deadline;
       auto ids = index_->Query(request.path, query_options);
       if (ids.ok()) {
         resp.doc_ids = std::move(ids).value();

@@ -17,6 +17,11 @@
 //     requests may be queued or executing; past that new requests are
 //     answered kBusy immediately (`server.rejected`) rather than queued
 //     into unbounded memory.
+//   * Deadline shedding — a request carrying a v2 `deadline_ms` budget
+//     whose deadline passes while it waits in the queue is answered
+//     kDeadlineExceeded without being executed (`server.shed`); the
+//     remaining budget of the ones that do run is passed to the engine,
+//     which cancels cooperatively (QueryOptions::deadline).
 //   * Graceful shutdown — Stop() (and the destructor) stops accepting,
 //     rejects frames that arrive during the drain with kShuttingDown,
 //     completes every request already admitted (`server.drained`), writes
@@ -47,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/socket.h"
@@ -160,6 +166,11 @@ class VistServer {
     std::shared_ptr<Connection> conn;
     Request request;
     std::chrono::steady_clock::time_point admitted_at;
+    /// The request's deadline_ms budget anchored at admission time
+    /// (infinite when the request carried none). Workers shed work whose
+    /// deadline passed while it sat in the queue and pass the rest of the
+    /// budget into the engine as QueryOptions::deadline.
+    Deadline deadline;
   };
 
   void AcceptLoop();
@@ -171,7 +182,7 @@ class VistServer {
   /// (malformed input).
   bool DispatchFrame(const std::shared_ptr<Connection>& conn, Slice body);
 
-  Response HandleRequest(const Request& request);
+  Response HandleRequest(const Request& request, const Deadline& deadline);
 
   /// Encodes and writes `resp` under the connection's write lock. Write
   /// failures mean the peer is gone; they are counted, not propagated.

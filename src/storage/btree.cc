@@ -374,6 +374,12 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
 // Iterator
 
 void BTree::Iterator::LoadLeaf(PageId id) {
+  if (checker_ != nullptr && checker_->Expired()) {
+    status_ = Status::DeadlineExceeded("deadline expired during index scan");
+    valid_ = false;
+    leaf_.Release();
+    return;
+  }
   CountNodeAccess();
   auto ref = tree_->pool_->Fetch(id);
   if (!ref.ok()) {

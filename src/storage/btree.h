@@ -31,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -77,6 +78,13 @@ class BTree {
     void Next();
     void Prev();
 
+    /// Cooperative cancellation: every page load first consults `checker`
+    /// (borrowed; must outlive the iterator) and aborts the scan with
+    /// status DeadlineExceeded once it reports expiry. Combined with the
+    /// checker's amortized clock reads this bounds how many index nodes an
+    /// expired query can still touch (common/deadline.h).
+    void set_deadline_checker(DeadlineChecker* checker) { checker_ = checker; }
+
     /// Valid only while Valid(); the slices point into the pinned page and
     /// are invalidated by the next cursor movement.
     Slice key() const;
@@ -92,6 +100,7 @@ class BTree {
 
     BTree* tree_;
     PageRef leaf_;
+    DeadlineChecker* checker_ = nullptr;
     int index_ = 0;
     bool valid_ = false;
     Status status_;

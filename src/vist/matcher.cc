@@ -58,10 +58,21 @@ class Searcher {
     if (profile_ != nullptr) profile_->*field += delta;
   }
 
+  // Cooperative cancellation checkpoint: sets status_ (sticky via the
+  // checker) and returns true once the query's deadline has passed.
+  bool DeadlineExpired() {
+    if (context_.deadline == nullptr || !context_.deadline->Expired()) {
+      return false;
+    }
+    status_ = Status::DeadlineExceeded("deadline expired during matching");
+    return true;
+  }
+
   // Matches query elements qi.. inside `enclosing`, the scope of the node
   // matched for element qi-1 (S-Ancestorship: labels in (n, n+size)).
   void Search(size_t qi, const Scope& enclosing) {
     if (!status_.ok()) return;
+    if (DeadlineExpired()) return;
     if (qi == query_.size()) {
       if (context_.collect_doc_ids) CollectDocIds(bound_[qi - 1].record);
       return;
@@ -120,6 +131,7 @@ class Searcher {
     const uint64_t parent_hi = enclosing.n + enclosing.size;
 
     auto it = context_.entry_tree->NewIterator();
+    it->set_deadline_checker(context_.deadline);
     it->Seek(partial);
     while (status_.ok() && it->Valid() &&
            (partial_end.empty() || it->key().Compare(partial_end) < 0)) {
@@ -134,6 +146,7 @@ class Searcher {
       // S-Ancestorship range query within this D-key group.
       it->Seek(EncodeEntryKey(dkey, parent_lo, 0));
       while (it->Valid() && it->key().StartsWith(dkey)) {
+        if (DeadlineExpired()) return;
         Count(&obs::QueryProfile::entries_scanned,
               MatcherMetrics::Get().entries_scanned);
         Slice seen_dkey;
@@ -180,9 +193,11 @@ class Searcher {
     Count(&obs::QueryProfile::docid_range_scans,
           MatcherMetrics::Get().docid_range_scans);
     auto it = context_.docid_tree->NewIterator();
+    it->set_deadline_checker(context_.deadline);
     const std::string lo = EncodeDocIdKey(node.n, 0);
     const uint64_t hi = node.n + node.size;
     for (it->Seek(lo); it->Valid(); it->Next()) {
+      if (DeadlineExpired()) return;
       uint64_t n = 0, doc_id = 0;
       if (!DecodeDocIdKey(it->key(), &n, &doc_id)) {
         status_ = Status::Corruption("malformed DocId key in index");

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "obs/query_profile.h"
 #include "query/query_sequence.h"
@@ -37,6 +38,11 @@ struct MatchContext {
   /// ("does not include the time spent in data output after each range
   /// query on the DocId B+ Tree").
   bool collect_doc_ids = true;
+  /// Optional cooperative-cancellation checkpoints (borrowed; owned by the
+  /// querying thread's stack). The matcher consults it per entry scanned
+  /// and attaches it to its B+ tree iterators; once expired, matching
+  /// aborts with DeadlineExceeded within a bounded number of node visits.
+  DeadlineChecker* deadline = nullptr;
 };
 
 /// Returns the sorted doc ids matching any alternative of the compiled

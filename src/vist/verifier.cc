@@ -10,85 +10,100 @@ namespace {
 
 using query::QueryNode;
 
-bool MatchesAt(const QueryNode& qnode, const xml::Node& xnode);
+// The embedding recursion, with an optional cancellation checker threaded
+// through every step. When the checker expires, all matching predicates
+// answer false so the recursion unwinds on the cheapest path; the public
+// entry point's caller re-asks the (sticky) checker to tell cancellation
+// from a non-match.
+struct Embedder {
+  DeadlineChecker* checker = nullptr;
 
-// Does the value leaf hold at `xnode`? Attribute values and element text
-// both become value symbols in the sequence encoding, so both count here.
-bool ValueHolds(const std::string& value, const xml::Node& xnode) {
-  if (xnode.is_attribute()) return xnode.value() == value;
-  for (const auto& child : xnode.children()) {
-    if (child->is_text() && child->value() == value) return true;
+  bool Expired() const {
+    return checker != nullptr && checker->Expired();
   }
-  return false;
-}
 
-// Can query child `qc` be satisfied somewhere below `xnode`?
-bool EmbedChild(const QueryNode& qc, const xml::Node& xnode) {
-  switch (qc.kind) {
-    case QueryNode::Kind::kValue:
-      return ValueHolds(qc.value, xnode);
-    case QueryNode::Kind::kName:
-    case QueryNode::Kind::kStar:
-      for (const auto& child : xnode.children()) {
-        if (child->is_text()) continue;
-        if (MatchesAt(qc, *child)) return true;
-      }
-      return false;
-    case QueryNode::Kind::kDescendant: {
-      // '//' between xnode and its (sole, by construction) target: the
-      // target may match at any strict descendant.
-      std::function<bool(const xml::Node&)> any_descendant =
-          [&](const xml::Node& node) {
-            for (const auto& child : node.children()) {
-              if (child->is_text()) continue;
-              for (const auto& target : qc.children) {
-                if (MatchesAt(*target, *child)) return true;
-              }
-              if (any_descendant(*child)) return true;
-            }
-            return false;
-          };
-      return any_descendant(xnode);
+  // Does the value leaf hold at `xnode`? Attribute values and element text
+  // both become value symbols in the sequence encoding, so both count here.
+  bool ValueHolds(const std::string& value, const xml::Node& xnode) const {
+    if (xnode.is_attribute()) return xnode.value() == value;
+    for (const auto& child : xnode.children()) {
+      if (child->is_text() && child->value() == value) return true;
     }
+    return false;
   }
-  return false;
-}
 
-// Does `qnode` itself match at `xnode`, with all its children embedded
-// below it?
-bool MatchesAt(const QueryNode& qnode, const xml::Node& xnode) {
-  switch (qnode.kind) {
-    case QueryNode::Kind::kName:
-      if (xnode.name() != qnode.name) return false;
-      break;
-    case QueryNode::Kind::kStar:
-      break;  // any element/attribute
-    case QueryNode::Kind::kValue:
-    case QueryNode::Kind::kDescendant:
-      VIST_CHECK(false) << "MatchesAt on a non-step query node";
+  // Can query child `qc` be satisfied somewhere below `xnode`?
+  bool EmbedChild(const QueryNode& qc, const xml::Node& xnode) const {
+    switch (qc.kind) {
+      case QueryNode::Kind::kValue:
+        return ValueHolds(qc.value, xnode);
+      case QueryNode::Kind::kName:
+      case QueryNode::Kind::kStar:
+        for (const auto& child : xnode.children()) {
+          if (child->is_text()) continue;
+          if (MatchesAt(qc, *child)) return true;
+        }
+        return false;
+      case QueryNode::Kind::kDescendant: {
+        // '//' between xnode and its (sole, by construction) target: the
+        // target may match at any strict descendant.
+        std::function<bool(const xml::Node&)> any_descendant =
+            [&](const xml::Node& node) {
+              if (Expired()) return false;
+              for (const auto& child : node.children()) {
+                if (child->is_text()) continue;
+                for (const auto& target : qc.children) {
+                  if (MatchesAt(*target, *child)) return true;
+                }
+                if (any_descendant(*child)) return true;
+              }
+              return false;
+            };
+        return any_descendant(xnode);
+      }
+    }
+    return false;
   }
-  for (const auto& qc : qnode.children) {
-    if (!EmbedChild(*qc, xnode)) return false;
+
+  // Does `qnode` itself match at `xnode`, with all its children embedded
+  // below it?
+  bool MatchesAt(const QueryNode& qnode, const xml::Node& xnode) const {
+    if (Expired()) return false;
+    switch (qnode.kind) {
+      case QueryNode::Kind::kName:
+        if (xnode.name() != qnode.name) return false;
+        break;
+      case QueryNode::Kind::kStar:
+        break;  // any element/attribute
+      case QueryNode::Kind::kValue:
+      case QueryNode::Kind::kDescendant:
+        VIST_CHECK(false) << "MatchesAt on a non-step query node";
+    }
+    for (const auto& qc : qnode.children) {
+      if (!EmbedChild(*qc, xnode)) return false;
+    }
+    return true;
   }
-  return true;
-}
+};
 
 }  // namespace
 
-bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root) {
+bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root,
+                     DeadlineChecker* checker) {
   // Metric reference: docs/OBSERVABILITY.md (vist section).
   static obs::Counter& invocations =
       obs::GetCounter("vist.verifier.invocations");
   invocations.Increment();
   VIST_CHECK(tree.root != nullptr);
+  const Embedder embedder{checker};
   const QueryNode& qroot = *tree.root;
   if (qroot.kind == QueryNode::Kind::kDescendant) {
     // Absolute '//x': x may match the document root or any descendant.
     std::function<bool(const xml::Node&)> anywhere =
         [&](const xml::Node& node) {
-          if (node.is_text()) return false;
+          if (node.is_text() || embedder.Expired()) return false;
           for (const auto& target : qroot.children) {
-            if (MatchesAt(*target, node)) return true;
+            if (embedder.MatchesAt(*target, node)) return true;
           }
           for (const auto& child : node.children()) {
             if (anywhere(*child)) return true;
@@ -97,7 +112,7 @@ bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root) {
         };
     return anywhere(root);
   }
-  return MatchesAt(qroot, root);
+  return embedder.MatchesAt(qroot, root);
 }
 
 }  // namespace vist

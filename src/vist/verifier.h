@@ -10,6 +10,7 @@
 #ifndef VIST_VIST_VERIFIER_H_
 #define VIST_VIST_VERIFIER_H_
 
+#include "common/deadline.h"
 #include "query/path_expr.h"
 #include "xml/node.h"
 
@@ -19,7 +20,14 @@ namespace vist {
 /// document: name nodes match equally named elements/attributes, '*'
 /// matches any single node, '//' any downward chain, and value leaves
 /// match the node's attribute value or text content.
-bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root);
+///
+/// `checker` (optional, borrowed) adds cooperative-cancellation
+/// checkpoints to the embedding recursion: once it reports expiry the
+/// search unwinds immediately and returns false. The caller distinguishes
+/// cancellation from a genuine non-match by re-asking the checker (expiry
+/// is sticky) and must then discard the result.
+bool VerifyEmbedding(const query::QueryTree& tree, const xml::Node& root,
+                     DeadlineChecker* checker = nullptr);
 
 }  // namespace vist
 

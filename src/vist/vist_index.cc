@@ -609,9 +609,9 @@ Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
 
 Result<std::vector<uint64_t>> VistIndex::QueryCompiledImpl(
     const query::CompiledQuery& compiled, obs::QueryProfile* profile,
-    bool collect_doc_ids) {
+    bool collect_doc_ids, DeadlineChecker* checker) {
   MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth(),
-                       collect_doc_ids};
+                       collect_doc_ids, checker};
   return MatchCompiledQuery(context, compiled, profile);
 }
 
@@ -656,9 +656,14 @@ Result<std::vector<uint64_t>> VistIndex::QueryWithPlan(
     profile->engine = "vist";
     profile->query = plan.path();
   }
+  // Stack-owned, thread-confined cancellation state; checkpoints in the
+  // matcher, the verifier, and the B+ tree iterators all consult it
+  // (docs/CONCURRENCY.md: the checkpoints take no locks).
+  DeadlineChecker checker(options.deadline);
   VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
                         QueryCompiledImpl(vist_plan->compiled(), profile,
-                                          /*collect_doc_ids=*/true));
+                                          /*collect_doc_ids=*/true,
+                                          &checker));
   if (!options.verify) return ids;
 
   if (!options_.store_documents) {
@@ -670,11 +675,18 @@ Result<std::vector<uint64_t>> VistIndex::QueryWithPlan(
   obs::ProfileScope verify_scope(profile);
   std::vector<uint64_t> verified;
   for (uint64_t doc_id : ids) {
+    if (checker.Expired()) {
+      return Status::DeadlineExceeded("deadline expired during verification");
+    }
     VIST_ASSIGN_OR_RETURN(std::string text, GetDocumentImpl(doc_id));
     VIST_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
-    if (VerifyEmbedding(vist_plan->tree(), *doc.root())) {
-      verified.push_back(doc_id);
+    const bool embedded =
+        VerifyEmbedding(vist_plan->tree(), *doc.root(), &checker);
+    if (checker.Expired()) {
+      // The verifier unwound on expiry; its answer is meaningless.
+      return Status::DeadlineExceeded("deadline expired during verification");
     }
+    if (embedded) verified.push_back(doc_id);
   }
   if (profile != nullptr) {
     profile->verified = true;

@@ -197,7 +197,8 @@ class VistIndex : public QueryableIndex {
       VIST_REQUIRES(mu_);
   Result<std::vector<uint64_t>> QueryCompiledImpl(
       const query::CompiledQuery& compiled, obs::QueryProfile* profile,
-      bool collect_doc_ids) VIST_REQUIRES_SHARED(mu_);
+      bool collect_doc_ids, DeadlineChecker* checker = nullptr)
+      VIST_REQUIRES_SHARED(mu_);
   Result<std::string> GetDocumentImpl(uint64_t doc_id)
       VIST_REQUIRES_SHARED(mu_);
 

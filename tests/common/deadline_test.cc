@@ -1,0 +1,95 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace vist {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_FALSE(d.has_deadline());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::nanoseconds::max());
+  EXPECT_EQ(d.remaining_millis(), -1);
+  EXPECT_FALSE(Deadline::Infinite().has_deadline());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline d = Deadline::AfterMillis(60000);
+  EXPECT_TRUE(d.has_deadline());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining().count(), 0);
+  EXPECT_GT(d.remaining_millis(), 0);
+  EXPECT_LE(d.remaining_millis(), 60000);
+}
+
+TEST(DeadlineTest, PastDeadlineExpired) {
+  Deadline d = Deadline::AfterMillis(-1);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::nanoseconds::zero());
+  EXPECT_EQ(d.remaining_millis(), 0);
+}
+
+TEST(DeadlineTest, ExpiresOnSchedule) {
+  Deadline d = Deadline::AfterMillis(10);
+  EXPECT_FALSE(d.expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, RemainingMillisRoundsUp) {
+  // A sub-millisecond positive budget must not truncate to a zero poll
+  // timeout (which poll() reads as "return immediately").
+  Deadline d = Deadline::After(std::chrono::microseconds(500));
+  const int ms = d.remaining_millis();
+  EXPECT_TRUE(ms == 1 || ms == 0);  // 0 only if it expired while we asked
+}
+
+TEST(DeadlineTest, SoonerPrefersTheEarlier) {
+  const Deadline infinite;
+  const Deadline near = Deadline::AfterMillis(10);
+  const Deadline far = Deadline::AfterMillis(60000);
+  EXPECT_EQ(Deadline::Sooner(infinite, near).when(), near.when());
+  EXPECT_EQ(Deadline::Sooner(near, infinite).when(), near.when());
+  EXPECT_EQ(Deadline::Sooner(near, far).when(), near.when());
+  EXPECT_EQ(Deadline::Sooner(far, near).when(), near.when());
+  EXPECT_FALSE(Deadline::Sooner(infinite, infinite).has_deadline());
+}
+
+TEST(DeadlineCheckerTest, NoDeadlineNeverExpires) {
+  DeadlineChecker checker;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(checker.Expired());
+  DeadlineChecker infinite{Deadline()};
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(infinite.Expired());
+}
+
+TEST(DeadlineCheckerTest, AlreadyExpiredDetectedOnFirstCall) {
+  // The first Expired() call reads the clock (ticks_ starts at 0), so a
+  // query admitted after its deadline aborts at its first checkpoint —
+  // this is what bounds the overshoot to one checkpoint interval.
+  DeadlineChecker checker{Deadline::AfterMillis(-1)};
+  EXPECT_TRUE(checker.Expired());
+}
+
+TEST(DeadlineCheckerTest, ExpiryIsSticky) {
+  DeadlineChecker checker{Deadline::AfterMillis(-1)};
+  ASSERT_TRUE(checker.Expired());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(checker.Expired());
+}
+
+TEST(DeadlineCheckerTest, DetectsExpiryWithinOneInterval) {
+  DeadlineChecker checker{Deadline::AfterMillis(5)};
+  EXPECT_FALSE(checker.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // The clock is re-read at most kCheckInterval calls later.
+  bool expired = false;
+  for (uint32_t i = 0; i <= DeadlineChecker::kCheckInterval && !expired; ++i) {
+    expired = checker.Expired();
+  }
+  EXPECT_TRUE(expired);
+}
+
+}  // namespace
+}  // namespace vist
