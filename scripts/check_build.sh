@@ -26,6 +26,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # fault-tolerance regression fails the gate by name.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L faults
 
+# Differential-oracle suite: the router vs. every bare engine over
+# thousands of seeded queries (tests/exec/router_oracle_test.cc). ctest
+# treats a label matching zero tests as success, so guard against the
+# label silently vanishing before rerunning it by name.
+if ! ctest --test-dir "$BUILD_DIR" -N -L differential | grep -q "Test #"; then
+  echo "check_build.sh: no tests carry the 'differential' label" >&2
+  exit 1
+fi
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L differential
+
 if [[ "${VIST_SKIP_STATIC:-0}" != "1" ]]; then
   # exit 77 = clang unavailable on this host; not a failure of the tree.
   scripts/check_static.sh || { rc=$?; [[ $rc -eq 77 ]] || exit $rc; }

@@ -15,11 +15,12 @@ cmake -B "$BUILD_DIR" -S . \
   -DVIST_SANITIZE="thread"
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target storage_concurrency_test vist_concurrent_query_test \
-           exec_caching_stress_test server_stress_test server_test \
+           exec_caching_stress_test exec_router_stress_test \
+           server_stress_test server_test \
            server_fault_transport_test server_chaos_test \
            storage_test vist_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(storage_concurrency_test|vist_concurrent_query_test|exec_caching_stress_test|server_stress_test|server_test|server_fault_transport_test|server_chaos_test|storage_test|vist_test)$'
+  -R '^(storage_concurrency_test|vist_concurrent_query_test|exec_caching_stress_test|exec_router_stress_test|server_stress_test|server_test|server_fault_transport_test|server_chaos_test|storage_test|vist_test)$'

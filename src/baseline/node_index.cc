@@ -82,29 +82,22 @@ Status NodeIndex::PutRegion(Symbol symbol, const Region& region) {
                     EncodeRegionValue(region.end, region.level));
 }
 
-Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
-  WriterLock lock(mu_);
-  // Every public mutating entry point bumps the epoch exactly once while
-  // the writer lock is held (exec/queryable_index.h).
-  BumpEpoch();
-  ++num_documents_;
+void NodeIndex::EnumerateRegions(const xml::Node& root, uint64_t doc_id,
+                                 std::vector<std::pair<Symbol, Region>>* out) {
   // Region labeling: start = preorder rank, end = rank of the last
   // descendant, level = depth. Attribute/text values are labeled as child
   // nodes of their owner (the unified content+structure treatment, so the
   // comparison with ViST is apples-to-apples).
   uint32_t counter = 0;
-  Status status;
   std::function<uint32_t(const xml::Node&, uint32_t)> label =
       [&](const xml::Node& node, uint32_t level) -> uint32_t {
-    max_depth_ = std::max<uint64_t>(max_depth_, level + 1);
     const uint32_t start = counter++;
     uint32_t last = start;
     if (node.is_attribute()) {
       if (!node.value().empty()) {
         const uint32_t vstart = counter++;
-        Status s = PutRegion(SymbolTable::ValueSymbol(node.value()),
-                             {doc_id, vstart, vstart, level + 1});
-        if (!s.ok()) status = s;
+        out->emplace_back(SymbolTable::ValueSymbol(node.value()),
+                          Region{doc_id, vstart, vstart, level + 1});
         last = vstart;
       }
     } else {
@@ -112,22 +105,57 @@ Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
         if (child->is_text()) {
           if (child->value().empty()) continue;
           const uint32_t vstart = counter++;
-          Status s = PutRegion(SymbolTable::ValueSymbol(child->value()),
-                               {doc_id, vstart, vstart, level + 1});
-          if (!s.ok()) status = s;
+          out->emplace_back(SymbolTable::ValueSymbol(child->value()),
+                            Region{doc_id, vstart, vstart, level + 1});
           last = vstart;
         } else {
           last = label(*child, level + 1);
         }
       }
     }
-    Status s = PutRegion(symtab_->Intern(node.name()),
-                         {doc_id, start, last, level});
-    if (!s.ok()) status = s;
+    out->emplace_back(symtab_->Intern(node.name()),
+                      Region{doc_id, start, last, level});
     return last;
   };
   label(root, 0);
+}
+
+Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
+  WriterLock lock(mu_);
+  // Every public mutating entry point bumps the epoch exactly once while
+  // the writer lock is held (exec/queryable_index.h).
+  BumpEpoch();
+  ++num_documents_;
+  std::vector<std::pair<Symbol, Region>> entries;
+  EnumerateRegions(root, doc_id, &entries);
+  Status status;
+  for (const auto& [symbol, region] : entries) {
+    // Depth counts element/attribute nesting only, as before the
+    // enumerator refactor (value leaves ride at their owner's depth).
+    if (!IsValueSymbol(symbol)) {
+      max_depth_ = std::max<uint64_t>(max_depth_, region.level + 1);
+    }
+    Status s = PutRegion(symbol, region);
+    if (!s.ok()) status = s;
+  }
   return status;
+}
+
+Status NodeIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
+  WriterLock lock(mu_);
+  BumpEpoch();
+  if (num_documents_ > 0) --num_documents_;
+  std::vector<std::pair<Symbol, Region>> entries;
+  EnumerateRegions(root, doc_id, &entries);
+  for (const auto& [symbol, region] : entries) {
+    Status s =
+        tree_->Delete(EncodeRegionKey(symbol, region.doc, region.start));
+    // Two equal values under one parent label onto distinct preorder ranks,
+    // so keys are unique per document — but deleting a never-inserted
+    // document should not fail louder here than in the other engines.
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::OK();
 }
 
 Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(

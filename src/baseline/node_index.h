@@ -58,6 +58,11 @@ class NodeIndex : public QueryableIndex {
   /// Region-labels and indexes one document.
   Status InsertDocument(const xml::Node& root, uint64_t doc_id);
 
+  /// Removes a document previously inserted with this exact content under
+  /// `doc_id` (the same contract as VistIndex::DeleteDocument): the delete
+  /// re-derives the insert's region labels and removes each posting.
+  Status DeleteDocument(const xml::Node& root, uint64_t doc_id);
+
   /// Evaluates a path expression with exact XPath tree-pattern semantics;
   /// returns sorted matching doc ids.
   Result<std::vector<uint64_t>> Query(std::string_view path,
@@ -113,6 +118,14 @@ class NodeIndex : public QueryableIndex {
 
   NodeIndex(SymbolTable* symtab, NodeIndexOptions options)
       : symtab_(symtab), options_(options) {}
+
+  /// Region-labels `root` exactly as indexing does — start = preorder
+  /// rank, end = rank of the last descendant, level = depth, values
+  /// labeled as children of their owner — appending one (symbol, region)
+  /// entry per labeled node. Insert and delete share it so both derive
+  /// identical keys (interning is a no-op for names already seen).
+  void EnumerateRegions(const xml::Node& root, uint64_t doc_id,
+                        std::vector<std::pair<Symbol, Region>>* out);
 
   /// Plan body: bottom-up structural-join evaluation of the query tree.
   /// The join count accumulates into `*joins` (local to the query) so

@@ -205,6 +205,31 @@ Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   return Status::OK();
 }
 
+Status PathIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
+  WriterLock lock(mu_);
+  // Every public mutating entry point bumps the epoch exactly once while
+  // the writer lock is held (exec/queryable_index.h).
+  BumpEpoch();
+  if (num_documents_ > 0) --num_documents_;
+  std::vector<Symbol> path;
+  for (const SequenceElement& element : sequence) {
+    path = element.prefix;
+    path.push_back(element.symbol);
+    Status s = tree_->Delete(EncodePathEntryKey(path, doc_id));
+    // Duplicate root-to-node paths collapse onto one key at insert time,
+    // so the second removal of the same key legitimately finds nothing.
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  for (const RefinedPath& refined : refined_) {
+    refined_maintenance_checks_.fetch_add(1, std::memory_order_relaxed);
+    if (query::MatchesAny(refined.compiled, sequence)) {
+      Status s = tree_->Delete(RefinedPostingKey(refined.id, doc_id));
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
     const std::vector<Symbol>& pattern, DeadlineChecker* checker) {
   // Split the pattern into the concrete head and the wildcard-bearing rest.

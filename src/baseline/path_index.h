@@ -75,6 +75,13 @@ class PathIndex : public QueryableIndex {
   /// registered refined path against it.
   Status InsertSequence(const Sequence& sequence, uint64_t doc_id);
 
+  /// Removes a sequence previously inserted with this exact content under
+  /// `doc_id` (the same contract as VistIndex::DeleteSequence), including
+  /// its refined-path postings. Keys the insert wrote more than once
+  /// (duplicate root-to-node paths) are simply gone after the first
+  /// removal; the extra removals are not errors.
+  Status DeleteSequence(const Sequence& sequence, uint64_t doc_id);
+
   /// Evaluates a path expression; returns sorted matching doc ids. A path
   /// string equal to a registered refined path is answered from its
   /// posting list with zero joins.

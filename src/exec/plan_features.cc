@@ -1,0 +1,74 @@
+#include "exec/plan_features.h"
+
+#include <algorithm>
+
+#include "query/path_expr.h"
+#include "query/path_parser.h"
+
+namespace vist {
+namespace exec {
+namespace {
+
+// Walks one step list (the main spine or a predicate's relative path),
+// accumulating counts. Returns the number of root-to-leaf paths the list
+// lowers to: the spine contributes one leaf, and every predicate
+// contributes its own sub-tree's leaves.
+size_t WalkSteps(const std::vector<query::Step>& steps, bool is_spine,
+                 PlanFeatures* out) {
+  size_t leaves = 1;  // the step list's own terminal
+  size_t spine_pos = 0;
+  bool seen_descendant = false;
+  for (const query::Step& step : steps) {
+    ++out->steps;
+    if (step.axis == query::Axis::kDescendant) {
+      ++out->descendant_axes;
+      if (is_spine && !seen_descendant) {
+        seen_descendant = true;
+        out->first_descendant_pos = spine_pos;
+      }
+    }
+    if (step.is_wildcard()) {
+      ++out->wildcards;
+    } else {
+      out->names.push_back(step.name);
+    }
+    if (is_spine) ++spine_pos;
+    for (const query::Step::Predicate& pred : step.predicates) {
+      if (!pred.steps.empty()) ++out->branch_predicates;
+      if (pred.value.has_value()) ++out->value_predicates;
+      if (pred.steps.empty()) {
+        // '[text()="v"]': a value leaf directly under this step.
+        leaves += 1;
+      } else {
+        leaves += WalkSteps(pred.steps, /*is_spine=*/false, out);
+      }
+    }
+  }
+  if (is_spine && !seen_descendant) out->first_descendant_pos = spine_pos;
+  return leaves;
+}
+
+}  // namespace
+
+Result<PlanFeatures> ExtractPlanFeatures(std::string_view path) {
+  VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
+  PlanFeatures features;
+  features.leaf_paths = WalkSteps(expr.steps, /*is_spine=*/true, &features);
+  return features;
+}
+
+double EstimateSelectivity(const PlanFeatures& features,
+                           const NameStats& stats) {
+  if (features.names.empty() || stats.total_elements == 0) return 1.0;
+  double best = 1.0;
+  for (const std::string& name : features.names) {
+    auto it = stats.frequency.find(name);
+    const uint64_t count = it == stats.frequency.end() ? 0 : it->second;
+    best = std::min(best, static_cast<double>(count) /
+                              static_cast<double>(stats.total_elements));
+  }
+  return best;
+}
+
+}  // namespace exec
+}  // namespace vist

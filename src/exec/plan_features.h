@@ -1,0 +1,88 @@
+// Plan features: the shape statistics of a path expression that predict
+// which engine evaluates it cheapest.
+//
+// EXPERIMENTS.md E1 shows the three engines win on disjoint query shapes:
+// the path baseline on concrete paths, the node baseline on selective
+// `//`-axis value joins, ViST on branching + wildcard patterns. *Path
+// Summaries and Path Partitioning in Modern XML Databases* (PAPERS.md)
+// keys its plan memoization on exactly the features extracted here —
+// wildcard count, descendant-axis depth, branch fan-out, and name
+// selectivity. exec::Router quantizes them into cost-model buckets.
+//
+// Extraction is pure parsing (query::ParsePath); it never touches an
+// index, so it works identically for every engine and costs microseconds
+// (the router times it into `router.feature_extraction_us`).
+
+#ifndef VIST_EXEC_PLAN_FEATURES_H_
+#define VIST_EXEC_PLAN_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vist {
+namespace exec {
+
+/// Shape statistics of one path expression. Counts cover the whole query
+/// tree: main-spine steps plus every predicate's relative path, recursively.
+struct PlanFeatures {
+  /// Total location steps (main path + predicate paths).
+  size_t steps = 0;
+  /// '*' name tests.
+  size_t wildcards = 0;
+  /// '//' (descendant) axes.
+  size_t descendant_axes = 0;
+  /// Main-spine steps strictly before the first '//' axis; equals the
+  /// number of main-spine steps when the path has no '//'. A low value
+  /// means the unbounded scan starts near the root (expensive for
+  /// depth-bucketed path scans).
+  size_t first_descendant_pos = 0;
+  /// Predicates that branch into a relative path ('[a/b]', '[a="v"]').
+  size_t branch_predicates = 0;
+  /// Predicates testing a value ('[text()="v"]', '[a="v"]'); a predicate
+  /// with both a relative path and a value counts once in each.
+  size_t value_predicates = 0;
+  /// Root-to-leaf paths of the lowered query tree — the number of
+  /// per-branch evaluations a decomposing engine must join back together.
+  size_t leaf_paths = 0;
+  /// Concrete name tests in query order (duplicates kept). Selectivity
+  /// estimation resolves them against corpus statistics.
+  std::vector<std::string> names;
+
+  bool has_wildcard() const { return wildcards > 0; }
+  bool has_descendant() const { return descendant_axes > 0; }
+  bool has_branch() const { return branch_predicates > 0; }
+  bool has_value() const { return value_predicates > 0; }
+};
+
+/// Parses `path` and extracts its features. Fails exactly when
+/// query::ParsePath fails (empty or malformed expressions); it does NOT
+/// reject shapes the engines' tree lowering rejects later ("/a/*"), so the
+/// router can still score and dispatch them and surface the engine's error.
+Result<PlanFeatures> ExtractPlanFeatures(std::string_view path);
+
+/// Corpus name statistics a selectivity estimate resolves against. The
+/// router maintains one from its insert/delete fan-out; tests build them
+/// by hand.
+struct NameStats {
+  /// Element/attribute occurrences per name across the corpus.
+  std::unordered_map<std::string, uint64_t> frequency;
+  /// Total element/attribute occurrences (the denominator).
+  uint64_t total_elements = 0;
+};
+
+/// Smallest relative frequency among the query's concrete names, in
+/// [0, 1]: the tightest posting list any engine can anchor the query on.
+/// 1.0 when the query names nothing concrete (pure wildcard shapes) or the
+/// stats are empty; 0.0 when a name never occurs (provably empty result).
+double EstimateSelectivity(const PlanFeatures& features,
+                           const NameStats& stats);
+
+}  // namespace exec
+}  // namespace vist
+
+#endif  // VIST_EXEC_PLAN_FEATURES_H_

@@ -1,0 +1,444 @@
+#include "exec/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "seq/sequence.h"
+
+namespace vist {
+namespace exec {
+namespace {
+
+// Quantizes selectivity into coarse log10 bands: postings holding ≥10% of
+// the corpus behave nothing like the ones holding <0.1%, but finer
+// distinctions than a decade don't change which engine wins.
+uint32_t SelectivityBucket(double selectivity) {
+  if (selectivity >= 0.1) return 0;
+  if (selectivity >= 0.01) return 1;
+  if (selectivity >= 0.001) return 2;
+  return 3;
+}
+
+// Plan-feature bucket: (wildcard?, descendant?, branches 0/1/2+, value?,
+// selectivity band) — 96 buckets, few enough that each gathers
+// observations quickly, expressive enough to separate every E1 regime.
+uint32_t BucketKey(const PlanFeatures& features, double selectivity) {
+  uint32_t key = features.has_wildcard() ? 1u : 0u;
+  key |= (features.has_descendant() ? 1u : 0u) << 1;
+  key |= std::min<uint32_t>(
+             static_cast<uint32_t>(features.branch_predicates), 2u)
+         << 2;
+  key |= (features.has_value() ? 1u : 0u) << 4;
+  key |= SelectivityBucket(selectivity) << 5;
+  return key;
+}
+
+// Static prior, in abstract cost units (lower is cheaper). Encodes the E1
+// shape: the path baseline owns concrete paths but pays a per-depth-bucket
+// expansion under '//'; the node baseline is immune to '//' but a '*'
+// forces its full-name scan; ViST pays a high constant (range scans over
+// the virtual tree) but degrades mildly in every direction, so it wins
+// when wildcards, '//', and branching pile up (Q7/Q8). Selectivity scales
+// the scan-bound engines: a fat anchor posting hurts the node index most.
+double StaticCost(size_t engine, const PlanFeatures& features,
+                  double selectivity) {
+  const double wildcards = static_cast<double>(features.wildcards);
+  const double descendants = static_cast<double>(features.descendant_axes);
+  const double branches = static_cast<double>(features.branch_predicates);
+  switch (static_cast<Router::Engine>(engine)) {
+    case Router::Engine::kPath:
+      return 2 + 12 * wildcards + 50 * descendants + 2 * branches +
+             20 * selectivity;
+    case Router::Engine::kNode:
+      return 15 + 40 * wildcards + 4 * descendants + 2 * branches +
+             60 * selectivity;
+    case Router::Engine::kVist:
+      return 35 + 6 * wildcards + 6 * descendants + 4 * branches +
+             10 * selectivity;
+  }
+  VIST_CHECK(false);
+  return 0;
+}
+
+// One routed query's observed cost, from the QueryProfile cost columns.
+// Wall time dominates because it is the only unit comparable ACROSS
+// engines: the counter columns are engine-relative — a node-engine
+// "access" on a wildcard query is mostly buffer-pool misses (hit rate
+// 0.06 on E1's Q7) while a ViST access is a cached page, so an
+// access-count proxy under-bills the node engine by an order of
+// magnitude and the feedback loop locks in the mispick. The paper's
+// index-node accesses, range scans, and joins remain as a deterministic
+// tiebreaker for queries too fast for the clock to separate.
+double ObservedCost(const obs::QueryProfile& profile) {
+  return 1000.0 * profile.wall_ms +
+         0.01 * (static_cast<double>(profile.index_nodes_accessed) +
+                 8.0 * static_cast<double>(profile.range_scans) +
+                 32.0 * static_cast<double>(profile.joins));
+}
+
+// Folds the local profile the router handed the engine into the caller's
+// profile (accumulate semantics, like ProfileScope), stamping the engine
+// as e.g. "router(path_index)" so EXPLAIN output shows the decision.
+void MergeProfile(const obs::QueryProfile& from, obs::QueryProfile* to) {
+  to->query = from.query;
+  to->engine = "router(" + from.engine + ")";
+  to->alternatives += from.alternatives;
+  to->index_nodes_accessed += from.index_nodes_accessed;
+  to->buffer_pool_hits += from.buffer_pool_hits;
+  to->buffer_pool_misses += from.buffer_pool_misses;
+  to->range_scans += from.range_scans;
+  to->entries_scanned += from.entries_scanned;
+  to->nodes_matched += from.nodes_matched;
+  to->docid_range_scans += from.docid_range_scans;
+  to->joins += from.joins;
+  to->candidates += from.candidates;
+  to->verified_results += from.verified_results;
+  to->verified = to->verified || from.verified;
+  to->wall_ms += from.wall_ms;
+}
+
+// Compiled form of a routed query: the extracted features plus each
+// engine's own plan (null where that engine's Prepare failed). The
+// routing decision is deliberately NOT part of the plan — QueryWithPlan
+// re-picks per execution, so a plan cached by exec::CachingIndex keeps
+// following the feedback loop.
+class RouterPlan : public QueryPlan {
+ public:
+  RouterPlan(std::string path, PlanFeatures features,
+             std::array<std::shared_ptr<const QueryPlan>,
+                        Router::kNumEngines>
+                 inner,
+             bool cacheable)
+      : QueryPlan(std::move(path), cacheable),
+        features_(std::move(features)),
+        inner_(std::move(inner)) {}
+
+  const PlanFeatures& features() const { return features_; }
+  const std::shared_ptr<const QueryPlan>& inner(size_t engine) const {
+    return inner_[engine];
+  }
+
+  size_t MemoryUsage() const override {
+    size_t bytes = sizeof(*this) + path().size();
+    for (const std::string& name : features_.names) bytes += name.size();
+    for (const auto& plan : inner_) {
+      if (plan != nullptr) bytes += plan->MemoryUsage();
+    }
+    return bytes;
+  }
+
+ private:
+  const PlanFeatures features_;
+  const std::array<std::shared_ptr<const QueryPlan>, Router::kNumEngines>
+      inner_;
+};
+
+}  // namespace
+
+const char* Router::EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kVist:
+      return "vist";
+    case Engine::kPath:
+      return "path";
+    case Engine::kNode:
+      return "node";
+  }
+  VIST_CHECK(false);
+  return "";
+}
+
+Router::Router(VistIndex* vist, PathIndex* paths, NodeIndex* nodes,
+               const RouterOptions& options)
+    : vist_(vist), paths_(paths), nodes_(nodes), options_(options) {
+  VIST_CHECK(vist != nullptr && paths != nullptr && nodes != nullptr);
+}
+
+QueryableIndex* Router::EngineFor(Engine engine) const {
+  switch (engine) {
+    case Engine::kVist:
+      return vist_;
+    case Engine::kPath:
+      return paths_;
+    case Engine::kNode:
+      return nodes_;
+  }
+  VIST_CHECK(false);
+  return nullptr;
+}
+
+Status Router::InsertDocument(const xml::Node& root, uint64_t doc_id) {
+  WriterLock lock(mu_);
+  // Bump first, then fan out: a reader that saw the old epoch value
+  // finished before any engine received this document, so two equal epoch
+  // reads never bracket a partial fan-out (exec/queryable_index.h).
+  BumpEpoch();
+  VIST_RETURN_IF_ERROR(vist_->InsertDocument(root, doc_id));
+  const Sequence sequence =
+      BuildSequence(root, vist_->symbols(), vist_->options().sequence);
+  VIST_RETURN_IF_ERROR(paths_->InsertSequence(sequence, doc_id));
+  VIST_RETURN_IF_ERROR(nodes_->InsertDocument(root, doc_id));
+  UpdateNameStats(root, /*insert=*/true);
+  return Status::OK();
+}
+
+Status Router::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
+  WriterLock lock(mu_);
+  BumpEpoch();
+  VIST_RETURN_IF_ERROR(vist_->DeleteDocument(root, doc_id));
+  const Sequence sequence =
+      BuildSequence(root, vist_->symbols(), vist_->options().sequence);
+  VIST_RETURN_IF_ERROR(paths_->DeleteSequence(sequence, doc_id));
+  VIST_RETURN_IF_ERROR(nodes_->DeleteDocument(root, doc_id));
+  UpdateNameStats(root, /*insert=*/false);
+  return Status::OK();
+}
+
+void Router::UpdateNameStats(const xml::Node& node, bool insert) {
+  if (!node.is_text()) {
+    uint64_t& freq = name_stats_.frequency[node.name()];
+    if (insert) {
+      ++freq;
+      ++name_stats_.total_elements;
+    } else {
+      if (freq > 0) --freq;
+      if (name_stats_.total_elements > 0) --name_stats_.total_elements;
+    }
+  }
+  for (const auto& child : node.children()) {
+    UpdateNameStats(*child, insert);
+  }
+}
+
+Result<std::vector<uint64_t>> Router::Query(std::string_view path,
+                                            const QueryOptions& options) {
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
+                        Prepare(path, options));
+  return QueryWithPlan(*plan, options);
+}
+
+Result<std::shared_ptr<const QueryPlan>> Router::Prepare(
+    std::string_view path, const QueryOptions& options) {
+  // Metric reference: docs/OBSERVABILITY.md (exec section).
+  static obs::Histogram& extract_us =
+      obs::GetHistogram("router.feature_extraction_us");
+  PlanFeatures features;
+  {
+    obs::ScopedTimer timer(extract_us);
+    VIST_ASSIGN_OR_RETURN(features, ExtractPlanFeatures(path));
+  }
+  // The reader lock covers every engine's Prepare: compilation reads the
+  // shared symbol table, which the mutation fan-out grows.
+  ReaderLock lock(mu_);
+  std::array<std::shared_ptr<const QueryPlan>, kNumEngines> inner;
+  Status error = Status::OK();
+  bool cacheable = true;
+  size_t prepared = 0;
+  for (size_t i = 0; i < kNumEngines; ++i) {
+    auto plan =
+        EngineFor(static_cast<Engine>(i))->Prepare(path, options);
+    if (plan.ok()) {
+      cacheable = cacheable && (*plan)->cacheable();
+      inner[i] = std::move(*plan);
+      ++prepared;
+    } else {
+      // An engine that cannot compile the query (ViST's permutation cap)
+      // is simply not a routing candidate; the plan must not outlive the
+      // query, since a different engine mix changes what it can serve.
+      cacheable = false;
+      if (error.ok()) error = plan.status();
+    }
+  }
+  if (prepared == 0) return error;
+  return std::shared_ptr<const QueryPlan>(std::make_shared<RouterPlan>(
+      std::string(path), std::move(features), std::move(inner), cacheable));
+}
+
+Result<std::vector<uint64_t>> Router::QueryWithPlan(
+    const QueryPlan& plan, const QueryOptions& options) {
+  const auto* router_plan = dynamic_cast<const RouterPlan*>(&plan);
+  if (router_plan == nullptr) {
+    return Status::InvalidArgument("plan was not prepared by a Router");
+  }
+  // Metric reference: docs/OBSERVABILITY.md (exec section).
+  static obs::Counter& picks_vist = obs::GetCounter("router.picks.vist");
+  static obs::Counter& picks_path = obs::GetCounter("router.picks.path");
+  static obs::Counter& picks_node = obs::GetCounter("router.picks.node");
+  static obs::Counter& failovers = obs::GetCounter("router.failovers");
+  // Reader lock across engine execution: together with the writer-locked
+  // mutation fan-out this guarantees the query sees either all or none of
+  // any document, which is what makes the router's epoch meaningful to
+  // exec::CachingIndex.
+  ReaderLock lock(mu_);
+  const PlanFeatures& features = router_plan->features();
+  const double selectivity = EstimateSelectivity(features, name_stats_);
+  const uint32_t bucket_key = BucketKey(features, selectivity);
+
+  unsigned candidates = 0;
+  for (size_t i = 0; i < kNumEngines; ++i) {
+    if (router_plan->inner(i) != nullptr) candidates |= 1u << i;
+  }
+  std::vector<Engine> ranked;
+  bool learn = true;
+  if (options.verify) {
+    // Verification needs the document store, which only ViST keeps; the
+    // extra verification work would also poison the routing EWMA, so
+    // verified queries bypass the feedback loop entirely.
+    if ((candidates & 1u) == 0) {
+      return Status::NotSupported(
+          "verified queries require the ViST engine");
+    }
+    ranked = {Engine::kVist};
+    learn = false;
+  } else {
+    ranked = RankEngines(bucket_key, features, selectivity, candidates);
+  }
+  VIST_CHECK(!ranked.empty());
+
+  Status not_supported = Status::OK();
+  for (size_t attempt = 0; attempt < ranked.size(); ++attempt) {
+    const Engine pick = ranked[attempt];
+    if (attempt > 0) failovers.Increment();
+    switch (pick) {
+      case Engine::kVist:
+        picks_vist.Increment();
+        break;
+      case Engine::kPath:
+        picks_path.Increment();
+        break;
+      case Engine::kNode:
+        picks_node.Increment();
+        break;
+    }
+    obs::QueryProfile local;
+    QueryOptions engine_options = options;
+    engine_options.profile = &local;
+    auto result = EngineFor(pick)->QueryWithPlan(
+        *router_plan->inner(static_cast<size_t>(pick)), engine_options);
+    if (result.ok()) {
+      last_pick_.store(static_cast<int>(pick), std::memory_order_relaxed);
+      if (learn) RecordObservation(bucket_key, pick, ObservedCost(local));
+      if (options.profile != nullptr) MergeProfile(local, options.profile);
+      return result;
+    }
+    // Only NotSupported fails over (an engine that cannot express the
+    // query). Everything else — deadline exceeded, I/O — is the query's
+    // real outcome; retrying elsewhere would burn the caller's budget.
+    if (!result.status().IsNotSupported()) return result.status();
+    not_supported = result.status();
+  }
+  return not_supported;
+}
+
+std::vector<Router::Engine> Router::RankEngines(uint32_t bucket_key,
+                                                const PlanFeatures& features,
+                                                double selectivity,
+                                                unsigned candidates) {
+  // Metric reference: docs/OBSERVABILITY.md (exec section).
+  static obs::Counter& explorations = obs::GetCounter("router.explorations");
+  struct Scored {
+    Engine engine;
+    double cost = 0;
+    uint64_t observations = 0;
+  };
+  std::vector<Scored> scored;
+  MutexLock lock(feedback_mu_);
+  Bucket& bucket = feedback_[bucket_key];
+  ++bucket.queries;
+  for (size_t i = 0; i < kNumEngines; ++i) {
+    if ((candidates & (1u << i)) == 0) continue;
+    const EngineStat& stat = bucket.engines[i];
+    Scored entry;
+    entry.engine = static_cast<Engine>(i);
+    entry.observations = stat.observations;
+    entry.cost = stat.observations >= options_.min_observations
+                     ? stat.ewma_cost
+                     : StaticCost(i, features, selectivity);
+    scored.push_back(entry);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.cost < b.cost;
+                   });
+  // Exploration: a cold engine (or, in a warm bucket, the periodic probe)
+  // jumps the queue so every engine keeps a live cost estimate. The rest
+  // of the ranking is preserved — it doubles as the failover order.
+  auto least = std::min_element(scored.begin(), scored.end(),
+                                [](const Scored& a, const Scored& b) {
+                                  return a.observations < b.observations;
+                                });
+  const bool probe_due =
+      options_.explore_every > 0 &&
+      bucket.queries % options_.explore_every == 0;
+  if (least != scored.begin() &&
+      (least->observations < options_.min_observations || probe_due)) {
+    std::rotate(scored.begin(), least, least + 1);
+    explorations.Increment();
+  }
+  std::vector<Engine> ranked;
+  ranked.reserve(scored.size());
+  for (const Scored& entry : scored) ranked.push_back(entry.engine);
+  return ranked;
+}
+
+void Router::RecordObservation(uint32_t bucket_key, Engine engine,
+                               double cost) {
+  // Metric reference: docs/OBSERVABILITY.md (exec section).
+  static obs::Counter& corrections =
+      obs::GetCounter("router.mispick_corrections");
+  // Cheapest engine by observed EWMA, or -1 until at least two engines
+  // have enough observations for the comparison to mean anything.
+  const auto observed_argmin = [this](const Bucket& bucket)
+                                   VIST_REQUIRES(feedback_mu_) -> int {
+    int best = -1;
+    size_t qualified = 0;
+    for (size_t i = 0; i < kNumEngines; ++i) {
+      const EngineStat& stat = bucket.engines[i];
+      if (stat.observations < options_.min_observations) continue;
+      ++qualified;
+      if (best < 0 || stat.ewma_cost < bucket.engines[best].ewma_cost) {
+        best = static_cast<int>(i);
+      }
+    }
+    return qualified >= 2 ? best : -1;
+  };
+  MutexLock lock(feedback_mu_);
+  Bucket& bucket = feedback_[bucket_key];
+  const int before = observed_argmin(bucket);
+  EngineStat& stat = bucket.engines[static_cast<size_t>(engine)];
+  stat.ewma_cost = stat.observations == 0
+                       ? cost
+                       : options_.ewma_alpha * cost +
+                             (1 - options_.ewma_alpha) * stat.ewma_cost;
+  ++stat.observations;
+  const int after = observed_argmin(bucket);
+  // The argmin flipping means live traffic just proved the previous
+  // preference wrong — the self-correction the feedback loop exists for.
+  if (before >= 0 && after >= 0 && before != after) {
+    corrections.Increment();
+  }
+}
+
+Result<IndexStats> Router::Stats() {
+  ReaderLock lock(mu_);
+  VIST_ASSIGN_OR_RETURN(IndexStats stats, vist_->Stats());
+  VIST_ASSIGN_OR_RETURN(IndexStats path_stats, paths_->Stats());
+  VIST_ASSIGN_OR_RETURN(IndexStats node_stats, nodes_->Stats());
+  stats.size_bytes += path_stats.size_bytes + node_stats.size_bytes;
+  stats.max_depth = std::max(
+      stats.max_depth, std::max(path_stats.max_depth, node_stats.max_depth));
+  return stats;
+}
+
+Status Router::Flush() {
+  WriterLock lock(mu_);
+  BumpEpoch();
+  VIST_RETURN_IF_ERROR(vist_->Flush());
+  VIST_RETURN_IF_ERROR(paths_->Flush());
+  return nodes_->Flush();
+}
+
+}  // namespace exec
+}  // namespace vist

@@ -1,0 +1,194 @@
+// exec::Router — cost-based dispatch over all three engines.
+//
+// EXPERIMENTS.md E1 shows no single engine wins: PathIndex dominates
+// concrete and value paths (Q1/Q2/Q5), NodeIndex wins selective `//`
+// value joins (Q4/Q6), and ViST's structure-encoded matching wins
+// branching + wildcard patterns (Q7/Q8). The router keeps all three
+// loaded over the same document set, extracts plan features per query
+// (exec/plan_features.h), scores each engine with a small cost model, and
+// dispatches to the cheapest.
+//
+// The cost model has two layers:
+//
+//   * A static prior encoding the E1 shape: concrete paths → PathIndex,
+//     `//` without wildcards → NodeIndex, wildcards + `//` or branching →
+//     ViST, scaled by name selectivity from router-maintained corpus
+//     stats.
+//   * A learned layer: after every routed query the router folds the
+//     observed QueryProfile cost columns (index_nodes_accessed,
+//     range_scans, joins) into a per-plan-feature-bucket EWMA for the
+//     engine that ran it. Once every engine has enough observations in a
+//     bucket, the EWMAs replace the prior — so a mispredicting prior
+//     self-corrects under live traffic (`router.mispick_corrections`).
+//     Cold buckets round-robin the engines to gather observations, and a
+//     periodic exploration query (RouterOptions::explore_every) keeps the
+//     non-preferred engines' estimates fresh.
+//
+// Composition contract (the reason the router is itself a
+// QueryableIndex): mutations fan out to all three engines under the
+// router's writer lock with a single BumpEpoch() up front, and queries
+// run the picked engine under the router's reader lock. Two equal
+// router-epoch reads therefore bracket a window in which no engine
+// received a partial fan-out, which is exactly the invariant
+// exec::CachingIndex's e1/e2 protocol needs — the cache wraps the router
+// unchanged. The router's lock also serializes cross-engine access to the
+// shared symbol table (ViST's, borrowed by both baselines), which is not
+// internally synchronized.
+//
+// Lock order: router mu_ → engine SharedMutex → storage latches. The
+// feedback state lives under its own leaf mutex, never held across an
+// engine call. Deadlines propagate untouched into whichever engine runs
+// (QueryOptions::deadline), and verified queries always go to ViST — the
+// only engine with a document store.
+
+#ifndef VIST_EXEC_ROUTER_H_
+#define VIST_EXEC_ROUTER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/node_index.h"
+#include "baseline/path_index.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "exec/plan_features.h"
+#include "exec/queryable_index.h"
+#include "vist/vist_index.h"
+#include "xml/node.h"
+
+namespace vist {
+namespace exec {
+
+struct RouterOptions {
+  /// After a bucket is warm, every Nth query in it runs on the
+  /// least-recently-observed engine instead of the predicted-cheapest, so
+  /// estimates for the non-preferred engines never go stale. 0 disables
+  /// periodic exploration (cold-start round-robin still happens).
+  size_t explore_every = 64;
+  /// Weight of the newest observation in the per-bucket cost EWMA.
+  double ewma_alpha = 0.25;
+  /// Observations each engine needs in a bucket before its EWMA replaces
+  /// the static prior (and before the bucket counts as warm).
+  uint64_t min_observations = 3;
+};
+
+/// Routes queries across the three engines. All engines are borrowed,
+/// must outlive the router, and must share the ViST index's symbol table
+/// (construct the baselines with `vist->symbols()`). From the moment the
+/// router is constructed, every mutation and query against the engines
+/// must go through it — direct engine access would bypass the router's
+/// lock (see the header comment) and its corpus statistics.
+class Router : public QueryableIndex {
+ public:
+  enum class Engine { kVist = 0, kPath = 1, kNode = 2 };
+  static constexpr size_t kNumEngines = 3;
+
+  static const char* EngineName(Engine engine);
+
+  Router(VistIndex* vist, PathIndex* paths, NodeIndex* nodes,
+         const RouterOptions& options = {});
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Fans the document out to all three engines (ViST keeps the document
+  /// store; the path baseline receives the structure-encoded sequence)
+  /// and updates the name-frequency statistics behind selectivity
+  /// estimates. A mid-fan-out error leaves the engines divergent — treat
+  /// it as fatal for this router instance.
+  Status InsertDocument(const xml::Node& root, uint64_t doc_id);
+
+  /// Removes a document previously inserted with this exact content from
+  /// all three engines.
+  Status DeleteDocument(const xml::Node& root, uint64_t doc_id);
+
+  /// Evaluates `path` on the predicted-cheapest engine; returns sorted
+  /// matching doc ids, byte-identical to what any single engine returns.
+  /// An engine answering NotSupported (ViST's permutation-expansion cap)
+  /// fails over to the next-cheapest engine (`router.failovers`).
+  Result<std::vector<uint64_t>> Query(
+      std::string_view path, const QueryOptions& options = {}) override;
+
+  /// Compiles `path` on every engine and bundles the plans with the
+  /// extracted features. The routing decision is NOT baked in: each
+  /// execution re-picks, so a cached plan keeps benefiting from feedback.
+  Result<std::shared_ptr<const QueryPlan>> Prepare(
+      std::string_view path, const QueryOptions& options = {}) override;
+
+  Result<std::vector<uint64_t>> QueryWithPlan(
+      const QueryPlan& plan, const QueryOptions& options = {}) override;
+
+  /// Aggregates: size_bytes sums all engines; the document/depth/entry
+  /// fields come from ViST (the primary engine).
+  Result<IndexStats> Stats() override;
+
+  /// Flushes all three engines.
+  Status Flush() override;
+
+  /// The engine the most recently completed query ran on (after any
+  /// failover). Tests and benches introspect routing through this.
+  Engine last_pick() const {
+    return static_cast<Engine>(last_pick_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct EngineStat {
+    uint64_t observations = 0;
+    double ewma_cost = 0;
+  };
+  struct Bucket {
+    std::array<EngineStat, kNumEngines> engines;
+    uint64_t queries = 0;
+  };
+
+  /// Ranks the engines in `candidates` (bitmask by Engine index) from
+  /// predicted-cheapest to dearest for this bucket, applying cold-start
+  /// round-robin and periodic exploration. Bumps the bucket's query
+  /// count.
+  std::vector<Engine> RankEngines(uint32_t bucket_key,
+                                  const PlanFeatures& features,
+                                  double selectivity, unsigned candidates);
+
+  /// Folds one observed query cost into the bucket's EWMA for `engine`,
+  /// counting a mispick correction when the observed argmin changes.
+  void RecordObservation(uint32_t bucket_key, Engine engine, double cost);
+
+  /// Adjusts the name-frequency statistics for one document entering
+  /// (insert=true) or leaving the corpus.
+  void UpdateNameStats(const xml::Node& node, bool insert)
+      VIST_REQUIRES(mu_);
+
+  QueryableIndex* EngineFor(Engine engine) const;
+
+  VistIndex* const vist_;
+  PathIndex* const paths_;
+  NodeIndex* const nodes_;
+  const RouterOptions options_;
+
+  /// Router lock: queries shared, mutation fan-out exclusive. Top of the
+  /// lock order, above every engine lock.
+  mutable SharedMutex mu_;
+
+  /// Corpus name statistics feeding selectivity estimates; maintained by
+  /// the mutation fan-out.
+  NameStats name_stats_ VIST_GUARDED_BY(mu_);
+
+  /// Learned feedback, bucketed by quantized plan features. Leaf lock:
+  /// taken briefly while mu_ is held shared, never across an engine call.
+  Mutex feedback_mu_;
+  std::unordered_map<uint32_t, Bucket> feedback_ VIST_GUARDED_BY(feedback_mu_);
+
+  std::atomic<int> last_pick_{0};
+};
+
+}  // namespace exec
+}  // namespace vist
+
+#endif  // VIST_EXEC_ROUTER_H_

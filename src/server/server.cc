@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/coding.h"
+#include "exec/router.h"
 #include "obs/metrics.h"
 #include "vist/vist_index.h"
 #include "xml/parser.h"
@@ -84,6 +85,18 @@ Status VistIndexWriter::Delete(std::string_view xml, uint64_t doc_id) {
   auto doc = xml::Parse(std::string(xml));
   if (!doc.ok()) return doc.status();
   return index_->DeleteDocument(*doc->root(), doc_id);
+}
+
+Status RouterWriter::Insert(std::string_view xml, uint64_t doc_id) {
+  auto doc = xml::Parse(std::string(xml));
+  if (!doc.ok()) return doc.status();
+  return router_->InsertDocument(*doc->root(), doc_id);
+}
+
+Status RouterWriter::Delete(std::string_view xml, uint64_t doc_id) {
+  auto doc = xml::Parse(std::string(xml));
+  if (!doc.ok()) return doc.status();
+  return router_->DeleteDocument(*doc->root(), doc_id);
 }
 
 VistServer::VistServer(QueryableIndex* index, DocumentWriter* writer,

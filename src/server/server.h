@@ -65,6 +65,10 @@ namespace vist {
 
 class VistIndex;
 
+namespace exec {
+class Router;
+}  // namespace exec
+
 namespace server {
 
 /// The write side of the serving surface: how INSERT/DELETE frames become
@@ -95,6 +99,21 @@ class VistIndexWriter : public DocumentWriter {
 
  private:
   VistIndex* const index_;
+};
+
+/// DocumentWriter over an exec::Router (borrowed; must outlive the
+/// writer): mutations fan out to all three engines under the router's
+/// writer lock, bumping the router's epoch — the invalidation signal for
+/// an exec::CachingIndex wrapping the same router on the query side.
+class RouterWriter : public DocumentWriter {
+ public:
+  explicit RouterWriter(exec::Router* router) : router_(router) {}
+
+  Status Insert(std::string_view xml, uint64_t doc_id) override;
+  Status Delete(std::string_view xml, uint64_t doc_id) override;
+
+ private:
+  exec::Router* const router_;
 };
 
 struct ServerOptions {

@@ -137,6 +137,8 @@ TEST_F(CachingIndexTest, EveryMutatingEntryPointBumpsEpochExactlyOnce) {
   Sequence pseq = BuildSequence(*pdoc.root(), &symtab);
   ASSERT_TRUE((*paths)->InsertSequence(pseq, 1).ok());
   EXPECT_EQ((*paths)->epoch(), ++path_epoch) << "PathIndex::InsertSequence";
+  ASSERT_TRUE((*paths)->DeleteSequence(pseq, 1).ok());
+  EXPECT_EQ((*paths)->epoch(), ++path_epoch) << "PathIndex::DeleteSequence";
   ASSERT_TRUE((*paths)->Flush().ok());
   EXPECT_EQ((*paths)->epoch(), ++path_epoch) << "PathIndex::Flush";
 
@@ -145,6 +147,8 @@ TEST_F(CachingIndexTest, EveryMutatingEntryPointBumpsEpochExactlyOnce) {
   uint64_t node_epoch = (*nodes)->epoch();
   ASSERT_TRUE((*nodes)->InsertDocument(*pdoc.root(), 1).ok());
   EXPECT_EQ((*nodes)->epoch(), ++node_epoch) << "NodeIndex::InsertDocument";
+  ASSERT_TRUE((*nodes)->DeleteDocument(*pdoc.root(), 1).ok());
+  EXPECT_EQ((*nodes)->epoch(), ++node_epoch) << "NodeIndex::DeleteDocument";
   ASSERT_TRUE((*nodes)->Flush().ok());
   EXPECT_EQ((*nodes)->epoch(), ++node_epoch) << "NodeIndex::Flush";
 }

@@ -1,0 +1,162 @@
+// exec::ExtractPlanFeatures unit tests: golden feature vectors for the
+// EXPERIMENTS.md E1 query set (Q1-Q8) — the exact shapes the router's
+// cost model keys on — plus malformed/empty-path edges and the
+// selectivity estimator against hand-built corpus statistics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/plan_features.h"
+
+namespace vist {
+namespace exec {
+namespace {
+
+PlanFeatures MustExtract(const std::string& path) {
+  auto features = ExtractPlanFeatures(path);
+  EXPECT_TRUE(features.ok()) << path << ": " << features.status().ToString();
+  return std::move(features).value();
+}
+
+TEST(PlanFeaturesTest, Q1PlainPath) {
+  PlanFeatures f = MustExtract("/inproceedings/title");
+  EXPECT_EQ(f.steps, 2u);
+  EXPECT_EQ(f.wildcards, 0u);
+  EXPECT_EQ(f.descendant_axes, 0u);
+  EXPECT_EQ(f.first_descendant_pos, 2u);  // == spine length: no '//'
+  EXPECT_EQ(f.branch_predicates, 0u);
+  EXPECT_EQ(f.value_predicates, 0u);
+  EXPECT_EQ(f.leaf_paths, 1u);
+  EXPECT_EQ(f.names, (std::vector<std::string>{"inproceedings", "title"}));
+}
+
+TEST(PlanFeaturesTest, Q2ValuePredicate) {
+  PlanFeatures f = MustExtract("/book/author[text()='David']");
+  EXPECT_EQ(f.steps, 2u);
+  EXPECT_EQ(f.wildcards, 0u);
+  EXPECT_EQ(f.descendant_axes, 0u);
+  EXPECT_EQ(f.branch_predicates, 0u);  // '[text()=v]' tests the step itself
+  EXPECT_EQ(f.value_predicates, 1u);
+  EXPECT_EQ(f.leaf_paths, 2u);  // spine + the value leaf
+  EXPECT_EQ(f.names, (std::vector<std::string>{"book", "author"}));
+}
+
+TEST(PlanFeaturesTest, Q3WildcardNoDescendant) {
+  PlanFeatures f = MustExtract("/*/author[text()='David']");
+  EXPECT_EQ(f.steps, 2u);
+  EXPECT_EQ(f.wildcards, 1u);
+  EXPECT_EQ(f.descendant_axes, 0u);
+  EXPECT_EQ(f.value_predicates, 1u);
+  EXPECT_EQ(f.leaf_paths, 2u);
+  EXPECT_EQ(f.names, (std::vector<std::string>{"author"}));
+}
+
+TEST(PlanFeaturesTest, Q4DescendantNoWildcard) {
+  PlanFeatures f = MustExtract("//author[text()='David']");
+  EXPECT_EQ(f.steps, 1u);
+  EXPECT_EQ(f.wildcards, 0u);
+  EXPECT_EQ(f.descendant_axes, 1u);
+  EXPECT_EQ(f.first_descendant_pos, 0u);  // unbounded from the root
+  EXPECT_EQ(f.value_predicates, 1u);
+  EXPECT_EQ(f.leaf_paths, 2u);
+  EXPECT_EQ(f.names, (std::vector<std::string>{"author"}));
+}
+
+TEST(PlanFeaturesTest, Q5BranchPredicate) {
+  PlanFeatures f = MustExtract("/book[key='books/bc/MaierW88']/author");
+  EXPECT_EQ(f.steps, 3u);  // book, author + the predicate's key step
+  EXPECT_EQ(f.wildcards, 0u);
+  EXPECT_EQ(f.descendant_axes, 0u);
+  EXPECT_EQ(f.branch_predicates, 1u);
+  EXPECT_EQ(f.value_predicates, 1u);  // the same predicate carries both
+  EXPECT_EQ(f.leaf_paths, 2u);
+  EXPECT_EQ(f.names, (std::vector<std::string>{"book", "key", "author"}));
+}
+
+TEST(PlanFeaturesTest, Q6DeepDescendantWithBranch) {
+  PlanFeatures f = MustExtract(
+      "/site//item[location='US']/mailbox/mail/date[text()='12/15/1999']");
+  EXPECT_EQ(f.steps, 6u);  // 5 spine steps + the location predicate step
+  EXPECT_EQ(f.wildcards, 0u);
+  EXPECT_EQ(f.descendant_axes, 1u);
+  EXPECT_EQ(f.first_descendant_pos, 1u);  // '//' right after /site
+  EXPECT_EQ(f.branch_predicates, 1u);
+  EXPECT_EQ(f.value_predicates, 2u);
+  EXPECT_EQ(f.leaf_paths, 3u);
+  EXPECT_EQ(f.names, (std::vector<std::string>{"site", "item", "location",
+                                               "mailbox", "mail", "date"}));
+}
+
+TEST(PlanFeaturesTest, Q7WildcardPlusDescendant) {
+  PlanFeatures f = MustExtract("/site//person/*/city[text()='Pocatello']");
+  EXPECT_EQ(f.steps, 4u);
+  EXPECT_EQ(f.wildcards, 1u);
+  EXPECT_EQ(f.descendant_axes, 1u);
+  EXPECT_EQ(f.first_descendant_pos, 1u);
+  EXPECT_EQ(f.branch_predicates, 0u);
+  EXPECT_EQ(f.value_predicates, 1u);
+  EXPECT_EQ(f.leaf_paths, 2u);
+  EXPECT_EQ(f.names, (std::vector<std::string>{"site", "person", "city"}));
+}
+
+TEST(PlanFeaturesTest, Q8NestedBranchesWithWildcard) {
+  PlanFeatures f = MustExtract(
+      "//closed_auction[*[person='person1']]/date[text()='12/15/1999']");
+  EXPECT_EQ(f.steps, 4u);  // closed_auction, date + predicate's *, person
+  EXPECT_EQ(f.wildcards, 1u);
+  EXPECT_EQ(f.descendant_axes, 1u);
+  EXPECT_EQ(f.first_descendant_pos, 0u);
+  EXPECT_EQ(f.branch_predicates, 2u);  // [*[...]] and the nested [person=v]
+  EXPECT_EQ(f.value_predicates, 2u);
+  // Spine terminal + date's value leaf + the nested branch's two list
+  // terminals ('*' and person): one per root-to-leaf chain the engines
+  // must join.
+  EXPECT_EQ(f.leaf_paths, 4u);
+  EXPECT_EQ(f.names,
+            (std::vector<std::string>{"closed_auction", "person", "date"}));
+}
+
+TEST(PlanFeaturesTest, MalformedAndEmptyPathsFail) {
+  EXPECT_FALSE(ExtractPlanFeatures("").ok());
+  EXPECT_FALSE(ExtractPlanFeatures("book/author").ok());  // not absolute
+  EXPECT_FALSE(ExtractPlanFeatures("/book[").ok());
+  EXPECT_FALSE(ExtractPlanFeatures("//").ok());
+}
+
+TEST(PlanFeaturesTest, ExtractionOutlivesTreeLowering) {
+  // "/a/*" is rejected later by the engines' query-tree lowering (a
+  // trailing wildcard cannot be a sequence element), but extraction must
+  // still succeed so the router can dispatch and surface that error.
+  PlanFeatures f = MustExtract("/a/*");
+  EXPECT_EQ(f.steps, 2u);
+  EXPECT_EQ(f.wildcards, 1u);
+}
+
+TEST(PlanFeaturesTest, SelectivityIsTightestName) {
+  NameStats stats;
+  stats.frequency = {{"book", 100}, {"author", 50}, {"title", 10}};
+  stats.total_elements = 1000;
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(MustExtract("/book/author"), stats), 0.05);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(MustExtract("/book/title"), stats), 0.01);
+  // A name the corpus never saw is provably empty: selectivity 0.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(MustExtract("/inproceedings/title"), stats), 0.0);
+}
+
+TEST(PlanFeaturesTest, SelectivityDefaultsToOne) {
+  NameStats empty;
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(MustExtract("/book"), empty), 1.0);
+  // Pure-wildcard shapes name nothing concrete.
+  NameStats stats;
+  stats.frequency = {{"book", 1}};
+  stats.total_elements = 10;
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(MustExtract("/*"), stats), 1.0);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace vist

@@ -13,6 +13,11 @@
 //
 // All randomness is seeded (client jitter, proxy fault streams), so a
 // failure replays.
+//
+// Both serving shapes run the storm (TEST_P over EngineKind): the bare
+// ViST index, and the cost-based router fanning every mutation out to
+// three engines — deadline shedding, drains, and integrity must hold
+// identically behind the router.
 
 #include <gtest/gtest.h>
 
@@ -25,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine_rig.h"
 #include "exec/caching_index.h"
 #include "server/client.h"
 #include "server/fault_injection_transport.h"
@@ -42,24 +48,31 @@ std::string ChaosDoc(uint64_t i) {
          "></doc>";
 }
 
-TEST(ChaosTest, ServingPathSurvivesAFaultStorm) {
+class ChaosTest : public ::testing::TestWithParam<EngineKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ChaosTest,
+    ::testing::Values(EngineKind::kVist, EngineKind::kRouter),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return EngineKindName(info.param);
+    });
+
+TEST_P(ChaosTest, ServingPathSurvivesAFaultStorm) {
   const std::string dir =
       (std::filesystem::temp_directory_path() /
-       ("vist_chaos_" + std::to_string(getpid())))
+       ("vist_chaos_" + std::string(EngineKindName(GetParam())) + "_" +
+        std::to_string(getpid())))
           .string();
   std::filesystem::remove_all(dir);
-  auto created = VistIndex::Create(dir, VistOptions());
-  ASSERT_TRUE(created.ok()) << created.status().ToString();
-  auto index = std::move(created).value();
+  auto rig = EngineRig::Create(dir, GetParam());
+  ASSERT_NE(rig, nullptr);
   ASSERT_TRUE(
-      index->InsertDocument(*xml::Parse(ChaosDoc(0)).value().root(), 1000)
-          .ok());
-  VistIndexWriter writer(index.get());
-  exec::CachingIndex caching(index.get());
+      rig->Insert(*xml::Parse(ChaosDoc(0)).value().root(), 1000).ok());
+  exec::CachingIndex caching(rig->engine);
 
   ServerOptions server_options;
   server_options.num_workers = 4;
-  VistServer server(&caching, &writer, server_options);
+  VistServer server(&caching, rig->writer.get(), server_options);
   ASSERT_TRUE(server.Start().ok());
 
   FaultInjectionOptions faults;
@@ -144,30 +157,30 @@ TEST(ChaosTest, ServingPathSurvivesAFaultStorm) {
   EXPECT_GT(answered.load(), 0u);
   EXPECT_GT(proxy.connections(), 0u);
 
-  // The index survived: structurally sound and still queryable.
-  auto fsck = index->CheckIntegrity();
+  // The index survived: structurally sound and still queryable (through
+  // whichever engine the rig serves — behind the router this also proves
+  // the fan-out stayed coherent under the storm).
+  auto fsck = rig->vist->CheckIntegrity();
   EXPECT_TRUE(fsck.ok()) << fsck.status().ToString();
-  auto ids = index->Query("/doc/c0");
+  auto ids = rig->engine->Query("/doc/c0");
   ASSERT_TRUE(ids.ok()) << ids.status().ToString();
   EXPECT_EQ(*ids, std::vector<uint64_t>{1000});
 
-  index.reset();
+  rig.reset();
   std::filesystem::remove_all(dir);
 }
 
-TEST(ChaosTest, BlackholeFreezesTrafficUntilLifted) {
+TEST_P(ChaosTest, BlackholeFreezesTrafficUntilLifted) {
   const std::string dir =
       (std::filesystem::temp_directory_path() /
-       ("vist_blackhole_" + std::to_string(getpid())))
+       ("vist_blackhole_" + std::string(EngineKindName(GetParam())) + "_" +
+        std::to_string(getpid())))
           .string();
   std::filesystem::remove_all(dir);
-  auto created = VistIndex::Create(dir, VistOptions());
-  ASSERT_TRUE(created.ok()) << created.status().ToString();
-  auto index = std::move(created).value();
-  ASSERT_TRUE(
-      index->InsertDocument(*xml::Parse(ChaosDoc(0)).value().root(), 1)
-          .ok());
-  VistServer server(index.get(), nullptr);
+  auto rig = EngineRig::Create(dir, GetParam());
+  ASSERT_NE(rig, nullptr);
+  ASSERT_TRUE(rig->Insert(*xml::Parse(ChaosDoc(0)).value().root(), 1).ok());
+  VistServer server(rig->engine, nullptr);
   ASSERT_TRUE(server.Start().ok());
   FaultInjectionTransport proxy("127.0.0.1", server.port());
   ASSERT_TRUE(proxy.Start().ok());
@@ -197,7 +210,7 @@ TEST(ChaosTest, BlackholeFreezesTrafficUntilLifted) {
 
   server.Stop();
   proxy.Stop();
-  index.reset();
+  rig.reset();
   std::filesystem::remove_all(dir);
 }
 

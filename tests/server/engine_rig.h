@@ -1,0 +1,78 @@
+// Test helper: the serving-path suites run over two engine shapes — a
+// bare VistIndex (the original production shape) and the cost-based
+// exec::Router fronting all three engines. EngineRig builds either one
+// behind the same three handles (engine, writer, fsck target), so a
+// TEST_P over EngineKind covers deadline shedding, drain accounting, and
+// chaos storms identically behind the router.
+
+#ifndef VIST_TESTS_SERVER_ENGINE_RIG_H_
+#define VIST_TESTS_SERVER_ENGINE_RIG_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "baseline/node_index.h"
+#include "baseline/path_index.h"
+#include "exec/router.h"
+#include "server/server.h"
+#include "vist/vist_index.h"
+
+namespace vist {
+namespace server {
+
+enum class EngineKind { kVist, kRouter };
+
+inline const char* EngineKindName(EngineKind kind) {
+  return kind == EngineKind::kVist ? "vist" : "router";
+}
+
+struct EngineRig {
+  // Declaration order is the teardown contract: the writer and router
+  // close before the engines, and the ViST index (which owns the symbol
+  // table the baselines borrow) closes last.
+  std::unique_ptr<VistIndex> vist;
+  std::unique_ptr<PathIndex> paths;
+  std::unique_ptr<NodeIndex> nodes;
+  std::unique_ptr<exec::Router> router;
+  std::unique_ptr<DocumentWriter> writer;
+  QueryableIndex* engine = nullptr;  // what the server serves
+
+  /// Builds a rig under `dir` (always a fresh directory tree). Returns
+  /// nullptr on I/O failure — callers ASSERT on it.
+  static std::unique_ptr<EngineRig> Create(const std::string& dir,
+                                           EngineKind kind) {
+    auto rig = std::make_unique<EngineRig>();
+    auto created = VistIndex::Create(dir + "/vist", VistOptions());
+    if (!created.ok()) return nullptr;
+    rig->vist = std::move(created).value();
+    if (kind == EngineKind::kVist) {
+      rig->engine = rig->vist.get();
+      rig->writer = std::make_unique<VistIndexWriter>(rig->vist.get());
+      return rig;
+    }
+    auto paths = PathIndex::Create(dir + "/paths", rig->vist->symbols());
+    if (!paths.ok()) return nullptr;
+    rig->paths = std::move(paths).value();
+    auto nodes = NodeIndex::Create(dir + "/nodes", rig->vist->symbols());
+    if (!nodes.ok()) return nullptr;
+    rig->nodes = std::move(nodes).value();
+    rig->router = std::make_unique<exec::Router>(
+        rig->vist.get(), rig->paths.get(), rig->nodes.get());
+    rig->engine = rig->router.get();
+    rig->writer = std::make_unique<RouterWriter>(rig->router.get());
+    return rig;
+  }
+
+  /// Direct (non-wire) insert through whichever write path the rig
+  /// serves, so fixtures can seed documents.
+  Status Insert(const xml::Node& root, uint64_t doc_id) {
+    return router ? router->InsertDocument(root, doc_id)
+                  : vist->InsertDocument(root, doc_id);
+  }
+};
+
+}  // namespace server
+}  // namespace vist
+
+#endif  // VIST_TESTS_SERVER_ENGINE_RIG_H_
