@@ -41,6 +41,11 @@ if [[ "${VIST_SKIP_STATIC:-0}" != "1" ]]; then
   scripts/check_static.sh || { rc=$?; [[ $rc -eq 77 ]] || exit $rc; }
 fi
 
+# ViST invariant linter + lock-order doc diff (exit 77 = python3
+# unavailable; not a failure of the tree). Also part of the ctest run
+# above as invariants_gate/lint_mutant_test (label: lint).
+scripts/check_invariants.sh || { rc=$?; [[ $rc -eq 77 ]] || exit $rc; }
+
 if [[ "${VIST_SKIP_SANITIZERS:-0}" != "1" ]]; then
   scripts/check_sanitizers.sh
   scripts/check_tsan.sh

@@ -154,7 +154,7 @@ class NodeIndex : public QueryableIndex {
 
   /// Readers/writer lock: Query shared, InsertDocument exclusive (same
   /// shape as VistIndex::mu_, above the storage latches in lock order).
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kIndexWriter};
 
   SymbolTable* symtab_;
   NodeIndexOptions options_;

@@ -158,7 +158,7 @@ class PathIndex : public QueryableIndex {
 
   /// Readers/writer lock: Query shared, mutations exclusive (same shape as
   /// VistIndex::mu_, above the storage-layer latches in the lock order).
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kIndexWriter};
 
   const SymbolTable* symtab_;
   PathIndexOptions options_;

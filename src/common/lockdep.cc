@@ -1,0 +1,262 @@
+#include "common/lockdep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>  // vist-lint: allow-raw-mutex — the detector cannot be built on the wrappers it instruments
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace vist {
+namespace lockdep {
+namespace {
+
+struct HeldLock {
+  const void* mu = nullptr;
+  LockRank rank = LockRank::kTestHarness;
+  bool shared = false;
+  const char* file = "?";
+  int line = 0;
+};
+
+// The calling thread's acquisition stack, innermost last.
+std::vector<HeldLock>& Held() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+struct Edge {
+  LockRank from;
+  LockRank to;
+  uint64_t count = 0;
+  // First-observed sites, for reports and the JSON dump.
+  const char* held_file = "?";
+  int held_line = 0;
+  const char* acquire_file = "?";
+  int acquire_line = 0;
+};
+
+// Global observed-edge graph over lock classes. Guarded by a raw
+// std::mutex: lockdep must not recurse into the instrumented wrappers.
+// Leaked on purpose — mutexes are released during static destruction too.
+struct Graph {
+  std::mutex mu;
+  // adjacency[from][to] = edge index + 1, 0 = absent (kNumLockRanks is
+  // small, a dense matrix beats hashing).
+  uint32_t adjacency[kNumLockRanks][kNumLockRanks] = {};
+  std::vector<Edge> edges;
+};
+
+Graph& TheGraph() {
+  static Graph* graph = new Graph();
+  return *graph;
+}
+
+void DumpAtExit() {
+  const char* path = std::getenv("VIST_LOCKDEP_DUMP");
+  if (path != nullptr && path[0] != '\0') WriteEdgesJson(path);
+}
+
+void RegisterAtExitDump() {
+  static bool once = [] {
+    if (std::getenv("VIST_LOCKDEP_DUMP") != nullptr) std::atexit(DumpAtExit);
+    return true;
+  }();
+  (void)once;
+}
+
+[[noreturn]] void Fatal(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string SiteString(const char* file, int line) {
+  return std::string(file) + ":" + std::to_string(line);
+}
+
+std::string DescribeHeld(const HeldLock& held) {
+  return std::string(LockRankName(held.rank)) + " (order " +
+         std::to_string(LockRankOrder(held.rank)) +
+         (held.shared ? ", shared" : "") + ") acquired at " +
+         SiteString(held.file, held.line);
+}
+
+bool Unordered(LockRank rank) {
+  return (LockRankFlags(rank) & kLockRankFlagUnordered) != 0;
+}
+
+/// DFS from `start` looking for `target` in the observed-edge graph
+/// (graph mutex held). Fills `path` with the rank ids walked.
+bool FindPath(const Graph& graph, int start, int target,
+              std::vector<int>* path, bool visited[kNumLockRanks]) {
+  if (visited[start]) return false;
+  visited[start] = true;
+  path->push_back(start);
+  if (start == target) return true;
+  for (int next = 0; next < kNumLockRanks; ++next) {
+    if (graph.adjacency[start][next] != 0 &&
+        FindPath(graph, next, target, path, visited)) {
+      return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+/// Records the edge held.rank -> rank. On a first observation, checks
+/// whether the reverse direction is already reachable — if so the new edge
+/// closes a cycle and the process aborts with the full path.
+void RecordEdge(const HeldLock& held, LockRank rank, const char* file,
+                int line) {
+  const int from = static_cast<int>(held.rank);
+  const int to = static_cast<int>(rank);
+  if (from == to) return;  // same-class edges cannot order anything
+
+  // Fast path: this thread already recorded the edge once.
+  thread_local std::unordered_set<uint32_t> seen;
+  const uint32_t key = static_cast<uint32_t>(from) * 256u +
+                       static_cast<uint32_t>(to);
+  if (!seen.insert(key).second) return;
+
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  uint32_t& slot = graph.adjacency[from][to];
+  if (slot != 0) {
+    ++graph.edges[slot - 1].count;
+    return;
+  }
+
+  // New edge: adding from->to creates a cycle iff `from` is already
+  // reachable from `to`.
+  std::vector<int> path;
+  bool visited[kNumLockRanks] = {};
+  if (FindPath(graph, to, from, &path, visited)) {
+    std::string report =
+        "vist lockdep: FATAL: lock-order cycle detected\n  new edge: " +
+        std::string(LockRankName(held.rank)) + " -> " +
+        std::string(LockRankName(rank)) + "\n  acquiring: " +
+        std::string(LockRankName(rank)) + " at " + SiteString(file, line) +
+        "\n  while holding: " + DescribeHeld(held) +
+        "\n  completing cycle:";
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const Edge& edge =
+          graph.edges[graph.adjacency[path[i]][path[i + 1]] - 1];
+      report += "\n    " +
+                std::string(LockRankName(static_cast<LockRank>(path[i]))) +
+                " -> " +
+                std::string(LockRankName(static_cast<LockRank>(path[i + 1]))) +
+                " (first observed: held at " +
+                SiteString(edge.held_file, edge.held_line) +
+                ", acquired at " +
+                SiteString(edge.acquire_file, edge.acquire_line) + ")";
+    }
+    report +=
+        "\n  lock ranks are defined in src/common/lock_ranks.h "
+        "(see docs/CONCURRENCY.md)\n";
+    Fatal(report);
+  }
+
+  Edge edge;
+  edge.from = held.rank;
+  edge.to = rank;
+  edge.count = 1;
+  edge.held_file = held.file;
+  edge.held_line = held.line;
+  edge.acquire_file = file;
+  edge.acquire_line = line;
+  graph.edges.push_back(edge);
+  slot = static_cast<uint32_t>(graph.edges.size());
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, LockRank rank, bool shared, const char* file,
+               int line) {
+  RegisterAtExitDump();
+  std::vector<HeldLock>& held = Held();
+  for (const HeldLock& h : held) {
+    if (h.mu == mu) {
+      Fatal("vist lockdep: FATAL: recursive acquisition (self-deadlock)\n"
+            "  acquiring: " +
+            std::string(LockRankName(rank)) + " at " +
+            SiteString(file, line) + "\n  already held: " + DescribeHeld(h) +
+            "\n");
+    }
+    // Strict order: every held lock must be strictly below the new one.
+    // Classes flagged unordered skip the declared comparison; the edge
+    // graph below still learns and enforces their relative order.
+    if (!Unordered(h.rank) && !Unordered(rank) &&
+        LockRankOrder(rank) <= LockRankOrder(h.rank)) {
+      Fatal(
+          "vist lockdep: FATAL: lock-rank inversion (potential deadlock)\n"
+          "  acquiring: " +
+          std::string(LockRankName(rank)) + " (order " +
+          std::to_string(LockRankOrder(rank)) + ") at " +
+          SiteString(file, line) + "\n  while holding: " + DescribeHeld(h) +
+          "\n  lock ranks are defined in src/common/lock_ranks.h "
+          "(see docs/CONCURRENCY.md)\n");
+    }
+  }
+  for (const HeldLock& h : held) RecordEdge(h, rank, file, line);
+
+  HeldLock entry;
+  entry.mu = mu;
+  entry.rank = rank;
+  entry.shared = shared;
+  entry.file = file;
+  entry.line = line;
+  held.push_back(entry);
+}
+
+void OnRelease(const void* mu) {
+  std::vector<HeldLock>& held = Held();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock lockdep never saw acquired: tolerated (a mutex may
+  // predate VIST_DEADLOCK_DEBUG hooks in mixed builds), not tracked.
+}
+
+size_t HeldLockCountForTesting() { return Held().size(); }
+
+size_t ObservedEdgeCountForTesting() {
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  return graph.edges.size();
+}
+
+bool WriteEdgesJson(const char* path) {
+  std::string out = "{\n  \"edges\": [";
+  {
+    Graph& graph = TheGraph();
+    std::lock_guard<std::mutex> lock(graph.mu);
+    for (size_t i = 0; i < graph.edges.size(); ++i) {
+      const Edge& edge = graph.edges[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"from\": \"" + std::string(LockRankName(edge.from)) +
+             "\", \"from_order\": " +
+             std::to_string(LockRankOrder(edge.from)) + ", \"to\": \"" +
+             std::string(LockRankName(edge.to)) +
+             "\", \"to_order\": " + std::to_string(LockRankOrder(edge.to)) +
+             ", \"count\": " + std::to_string(edge.count) +
+             ", \"held_site\": \"" +
+             SiteString(edge.held_file, edge.held_line) +
+             "\", \"acquire_site\": \"" +
+             SiteString(edge.acquire_file, edge.acquire_line) + "\"}";
+    }
+  }
+  out += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == out.size();
+  return ok;
+}
+
+}  // namespace lockdep
+}  // namespace vist

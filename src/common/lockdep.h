@@ -1,0 +1,74 @@
+// Runtime lockdep: rank validation and observed-edge cycle detection for
+// every vist::Mutex / vist::SharedMutex acquisition.
+//
+// Clang's thread-safety analysis (PR 4) proves *what* lock protects each
+// field; it cannot see lock *order* across call chains. This layer closes
+// that gap at runtime, lockdep-style: it flags a *potential* deadlock the
+// first time two locks are ever taken in conflicting order on any thread —
+// no racy schedule needs to actually fire, which makes it strictly
+// stronger than TSan's deadlock detection (TSan needs the cycle to be held
+// simultaneously by racing threads at least once).
+//
+// Two checks run on every acquisition (see common/lock_ranks.h):
+//
+//   1. Rank validation. Each mutex carries a LockRank; a thread-local
+//      held-lock stack rejects acquiring a rank whose order is not
+//      strictly greater than every order already held. Violations abort
+//      with BOTH acquisition sites (file:line of the blocking acquisition
+//      and of the held lock it inverts against).
+//
+//   2. Edge-graph cycle detection. Every first-seen (held-class ->
+//      acquired-class) edge enters a global directed graph; an edge that
+//      closes a cycle aborts with the full cycle and the first-observed
+//      sites of every edge in it. With strict rank validation active the
+//      graph is acyclic by construction; the cycle detector is what
+//      enforces ordering between classes flagged kLockRankFlagUnordered,
+//      whose order is learned from observation instead of declared.
+//
+// The edge graph dumps to JSON at process exit when VIST_LOCKDEP_DUMP
+// names a file (or on demand via WriteEdgesJson), so
+// scripts/check_invariants.sh can diff the observed order against the
+// table in docs/CONCURRENCY.md — the same both-directions discipline as
+// scripts/check_metrics_doc.sh.
+//
+// This translation unit is always compiled (so the detector itself is
+// unit-testable in every build); the *hooks* in common/mutex.h are only
+// emitted under VIST_DEADLOCK_DEBUG, which is what keeps production
+// mutexes zero-overhead.
+
+#ifndef VIST_COMMON_LOCKDEP_H_
+#define VIST_COMMON_LOCKDEP_H_
+
+#include <cstddef>
+
+#include "common/lock_ranks.h"
+
+namespace vist {
+namespace lockdep {
+
+/// Validates and records the acquisition of `mu` (class `rank`) at
+/// `file:line`, BEFORE the caller blocks on the actual lock — a potential
+/// deadlock is reported even when the schedule would have gotten lucky.
+/// Aborts the process with a two-site report on rank inversion, recursive
+/// acquisition, or a cycle in the observed-edge graph.
+void OnAcquire(const void* mu, LockRank rank, bool shared, const char* file,
+               int line);
+
+/// Pops `mu` from the calling thread's held-lock stack.
+void OnRelease(const void* mu);
+
+/// Locks currently held by the calling thread (test hook).
+size_t HeldLockCountForTesting();
+
+/// Number of distinct observed edges so far (test hook).
+size_t ObservedEdgeCountForTesting();
+
+/// Writes the observed-edge graph as JSON to `path`. Returns false when
+/// the file cannot be written. Also runs automatically at process exit
+/// when the VIST_LOCKDEP_DUMP environment variable names a path.
+bool WriteEdgesJson(const char* path);
+
+}  // namespace lockdep
+}  // namespace vist
+
+#endif  // VIST_COMMON_LOCKDEP_H_

@@ -1,17 +1,33 @@
 // Capability-annotated synchronization wrappers over the standard mutexes.
 //
-// All locking in src/ goes through these types instead of raw std::mutex /
-// std::shared_mutex so Clang's thread-safety analysis (see
-// common/thread_annotations.h and docs/STATIC_ANALYSIS.md) can verify the
-// lock order and the GUARDED_BY contracts at compile time. They are
-// zero-overhead shims: each wraps exactly the std type it replaces and
-// every method is a single forwarded call.
+// All locking in the tree — src/, tests/, and bench/ alike — goes through
+// these types instead of raw std::mutex / std::shared_mutex so that
+//
+//   * Clang's thread-safety analysis (common/thread_annotations.h,
+//     docs/STATIC_ANALYSIS.md) can verify the GUARDED_BY contracts at
+//     compile time, and
+//   * the runtime lockdep layer (common/lockdep.h, docs/CONCURRENCY.md)
+//     can verify the lock *order* at run time.
+//
+// Every mutex is constructed with a LockRank from the central table in
+// common/lock_ranks.h naming its lock class. In normal builds the rank is
+// discarded and each wrapper is a zero-overhead shim around exactly the
+// std type it replaces. Under -DVIST_DEADLOCK_DEBUG=ON every acquisition
+// is validated against a thread-local held-lock stack (rank order must
+// strictly increase) and recorded in a global observed-edge graph with
+// cycle detection — a potential deadlock aborts with both acquisition
+// sites the first time the conflicting order is ever seen, no racy
+// schedule required.
+//
+// scripts/vist_lint.py enforces that no raw standard-library mutex types
+// appear outside this header (and lockdep.cc, which cannot be built on
+// the wrappers it instruments).
 //
 // Idiom:
 //
 //   class Cache {
 //     ...
-//     mutable Mutex mu_;
+//     mutable Mutex mu_{LockRank::kCacheShard};
 //     std::map<Key, Value> map_ VIST_GUARDED_BY(mu_);
 //   };
 //
@@ -35,25 +51,66 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "common/lock_ranks.h"
 #include "common/thread_annotations.h"
+
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+#include <source_location>
+
+#include "common/lockdep.h"
+
+#define VIST_LOCKDEP_SITE_PARAM                 \
+  , const std::source_location& vist_loc =      \
+        std::source_location::current()
+#define VIST_LOCKDEP_SITE_ONLY_PARAM            \
+  const std::source_location& vist_loc =        \
+      std::source_location::current()
+#define VIST_LOCKDEP_ACQUIRE(mu, rank, shared)                       \
+  ::vist::lockdep::OnAcquire((mu), (rank), (shared),                 \
+                             vist_loc.file_name(),                   \
+                             static_cast<int>(vist_loc.line()))
+#define VIST_LOCKDEP_RELEASE(mu) ::vist::lockdep::OnRelease((mu))
+#else
+#define VIST_LOCKDEP_SITE_PARAM
+#define VIST_LOCKDEP_SITE_ONLY_PARAM
+#define VIST_LOCKDEP_ACQUIRE(mu, rank, shared) ((void)0)
+#define VIST_LOCKDEP_RELEASE(mu) ((void)0)
+#endif
 
 namespace vist {
 
-/// An exclusive mutex carrying the "mutex" capability.
+/// An exclusive mutex carrying the "mutex" capability. `rank` names the
+/// lock class in common/lock_ranks.h.
 class VIST_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+#else
+  explicit Mutex(LockRank) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() VIST_ACQUIRE() { mu_.lock(); }
-  void unlock() VIST_RELEASE() { mu_.unlock(); }
-  bool try_lock() VIST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(VIST_LOCKDEP_SITE_ONLY_PARAM) VIST_ACQUIRE() {
+    VIST_LOCKDEP_ACQUIRE(this, rank_, /*shared=*/false);
+    mu_.lock();
+  }
+  void unlock() VIST_RELEASE() {
+    mu_.unlock();
+    VIST_LOCKDEP_RELEASE(this);
+  }
+  bool try_lock(VIST_LOCKDEP_SITE_ONLY_PARAM) VIST_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    VIST_LOCKDEP_ACQUIRE(this, rank_, /*shared=*/false);
+    return true;
+  }
 
   /// Blocks until `pred()` is true, releasing and reacquiring the mutex
   /// around each wait on `cv` (which signalers notify after changing the
   /// predicate's inputs under this mutex). The capability is held whenever
-  /// `pred` runs and when Await returns.
+  /// `pred` runs and when Await returns. (Lockdep keeps the lock on the
+  /// held stack across the wait, mirroring the capability view: the
+  /// waiting thread acquires nothing else while parked.)
   template <typename Predicate>
   void Await(std::condition_variable_any& cv, Predicate pred)
       VIST_REQUIRES(this) {
@@ -61,34 +118,71 @@ class VIST_CAPABILITY("mutex") Mutex {
   }
 
  private:
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+  const LockRank rank_;
+#endif
   std::mutex mu_;
 };
 
-/// A readers/writer mutex carrying the "shared_mutex" capability.
+/// A readers/writer mutex carrying the "shared_mutex" capability. `rank`
+/// names the lock class in common/lock_ranks.h.
 class VIST_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
+#else
+  explicit SharedMutex(LockRank) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() VIST_ACQUIRE() { mu_.lock(); }
-  void unlock() VIST_RELEASE() { mu_.unlock(); }
-  bool try_lock() VIST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(VIST_LOCKDEP_SITE_ONLY_PARAM) VIST_ACQUIRE() {
+    VIST_LOCKDEP_ACQUIRE(this, rank_, /*shared=*/false);
+    mu_.lock();
+  }
+  void unlock() VIST_RELEASE() {
+    mu_.unlock();
+    VIST_LOCKDEP_RELEASE(this);
+  }
+  bool try_lock(VIST_LOCKDEP_SITE_ONLY_PARAM) VIST_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    VIST_LOCKDEP_ACQUIRE(this, rank_, /*shared=*/false);
+    return true;
+  }
 
-  void lock_shared() VIST_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() VIST_RELEASE_SHARED() { mu_.unlock_shared(); }
-  bool try_lock_shared() VIST_TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+  void lock_shared(VIST_LOCKDEP_SITE_ONLY_PARAM) VIST_ACQUIRE_SHARED() {
+    VIST_LOCKDEP_ACQUIRE(this, rank_, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  void unlock_shared() VIST_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    VIST_LOCKDEP_RELEASE(this);
+  }
+  bool try_lock_shared(VIST_LOCKDEP_SITE_ONLY_PARAM)
+      VIST_TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) return false;
+    VIST_LOCKDEP_ACQUIRE(this, rank_, /*shared=*/true);
+    return true;
   }
 
  private:
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+  const LockRank rank_;
+#endif
   std::shared_mutex mu_;
 };
 
 /// Scoped exclusive lock on a Mutex (the std::lock_guard replacement).
 class VIST_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) VIST_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  explicit MutexLock(Mutex& mu VIST_LOCKDEP_SITE_PARAM) VIST_ACQUIRE(mu)
+      : mu_(mu) {
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+    mu_.lock(vist_loc);
+#else
+    mu_.lock();
+#endif
+  }
   ~MutexLock() VIST_RELEASE_GENERIC() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -101,8 +195,14 @@ class VIST_SCOPED_CAPABILITY MutexLock {
 /// Scoped exclusive (writer) lock on a SharedMutex.
 class VIST_SCOPED_CAPABILITY WriterLock {
  public:
-  explicit WriterLock(SharedMutex& mu) VIST_ACQUIRE(mu) : mu_(mu) {
+  explicit WriterLock(SharedMutex& mu VIST_LOCKDEP_SITE_PARAM)
+      VIST_ACQUIRE(mu)
+      : mu_(mu) {
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+    mu_.lock(vist_loc);
+#else
     mu_.lock();
+#endif
   }
   ~WriterLock() VIST_RELEASE_GENERIC() { mu_.unlock(); }
 
@@ -116,8 +216,14 @@ class VIST_SCOPED_CAPABILITY WriterLock {
 /// Scoped shared (reader) lock on a SharedMutex.
 class VIST_SCOPED_CAPABILITY ReaderLock {
  public:
-  explicit ReaderLock(SharedMutex& mu) VIST_ACQUIRE_SHARED(mu) : mu_(mu) {
+  explicit ReaderLock(SharedMutex& mu VIST_LOCKDEP_SITE_PARAM)
+      VIST_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+#if defined(VIST_DEADLOCK_DEBUG) && VIST_DEADLOCK_DEBUG
+    mu_.lock_shared(vist_loc);
+#else
     mu_.lock_shared();
+#endif
   }
   ~ReaderLock() VIST_RELEASE_GENERIC() { mu_.unlock_shared(); }
 

@@ -70,7 +70,7 @@ struct CachingIndex::PlanShard {
     std::shared_ptr<const QueryPlan> plan;
   };
 
-  Mutex mu;
+  Mutex mu{LockRank::kCacheShard};
   /// Front is most recently used.
   std::list<Entry> lru VIST_GUARDED_BY(mu);
   std::map<std::string, std::list<Entry>::iterator, std::less<>> table
@@ -84,7 +84,7 @@ struct CachingIndex::ResultShard {
     size_t bytes = 0;
   };
 
-  Mutex mu;
+  Mutex mu{LockRank::kCacheShard};
   /// Epoch the shard's entries are valid for. A lookup or insert at a
   /// newer epoch clears the shard first (the wholesale invalidation rule).
   uint64_t epoch VIST_GUARDED_BY(mu) = 0;

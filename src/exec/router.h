@@ -174,7 +174,7 @@ class Router : public QueryableIndex {
 
   /// Router lock: queries shared, mutation fan-out exclusive. Top of the
   /// lock order, above every engine lock.
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kRouter};
 
   /// Corpus name statistics feeding selectivity estimates; maintained by
   /// the mutation fan-out.
@@ -182,7 +182,7 @@ class Router : public QueryableIndex {
 
   /// Learned feedback, bucketed by quantized plan features. Leaf lock:
   /// taken briefly while mu_ is held shared, never across an engine call.
-  Mutex feedback_mu_;
+  Mutex feedback_mu_{LockRank::kRouterFeedback};
   std::unordered_map<uint32_t, Bucket> feedback_ VIST_GUARDED_BY(feedback_mu_);
 
   std::atomic<int> last_pick_{0};

@@ -140,7 +140,7 @@ class MetricsRegistry {
   void CheckNameFree(std::string_view name, const char* kind) const
       VIST_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       VIST_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

@@ -125,7 +125,7 @@ class FaultInjectionTransport {
   std::atomic<uint64_t> resets_{0};
   std::atomic<uint64_t> torn_{0};
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestTransport};
   std::vector<std::shared_ptr<Link>> links_ VIST_GUARDED_BY(mu_);
   std::vector<std::thread> pumps_ VIST_GUARDED_BY(mu_);
 

@@ -172,11 +172,11 @@ class VistServer {
     /// Serializes response frames onto the socket (workers complete out of
     /// order). Leaf lock: held across the socket write, never while taking
     /// any other lock.
-    Mutex write_mu;
+    Mutex write_mu{LockRank::kServerConnWrite};
 
     /// Requests read off this connection but not yet responded to. The
     /// reader waits on `cv` below `max_pipeline`; workers decrement.
-    Mutex mu;
+    Mutex mu{LockRank::kServerConn};
     std::condition_variable_any cv;
     size_t inflight VIST_GUARDED_BY(mu) = 0;
   };
@@ -222,14 +222,14 @@ class VistServer {
   std::atomic<bool> stop_io_{false};
 
   /// Dispatch queue and the server-wide admission state.
-  Mutex queue_mu_;
+  Mutex queue_mu_{LockRank::kServerQueue};
   std::condition_variable_any queue_cv_;
   std::deque<Work> queue_ VIST_GUARDED_BY(queue_mu_);
   size_t inflight_total_ VIST_GUARDED_BY(queue_mu_) = 0;
   bool draining_ VIST_GUARDED_BY(queue_mu_) = false;
   bool workers_stop_ VIST_GUARDED_BY(queue_mu_) = false;
 
-  Mutex conns_mu_;
+  Mutex conns_mu_{LockRank::kServerConnList};
   std::vector<std::shared_ptr<Connection>> conns_ VIST_GUARDED_BY(conns_mu_);
   std::vector<std::thread> readers_ VIST_GUARDED_BY(conns_mu_);
 

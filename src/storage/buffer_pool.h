@@ -79,7 +79,7 @@ struct Frame {
   /// is still being read from disk by one thread; fetchers wait on load_cv.
   enum LoadState : int { kReady = 0, kLoading = 1, kFailed = 2 };
   std::atomic<int> load_state{kReady};
-  Mutex load_mu;  // leaf latch
+  Mutex load_mu{LockRank::kFrameLoadLatch};  // leaf latch
   // Signaled when load_state leaves kLoading (any-lock flavor so waits can
   // keep the annotated mutex capability; see Mutex::Await).
   std::condition_variable_any load_cv;
@@ -186,7 +186,7 @@ class BufferPool {
   using Frame = internal_buffer::Frame;
 
   struct Shard {
-    Mutex mu;
+    Mutex mu{LockRank::kBufferPoolShard};
     std::unordered_map<PageId, std::unique_ptr<Frame>> frames
         VIST_GUARDED_BY(mu);
     // Least-recently-used at the front; only unpinned frames are listed.

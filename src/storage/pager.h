@@ -210,7 +210,7 @@ class Pager {
   /// ReadPage does not take it. Everything below is guarded by mu_ except
   /// page_count_, which is additionally atomic so ReadPage can bounds-check
   /// without the lock.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPagerMutation};
   std::atomic<uint64_t> page_count_{1};  // header page
   PageId freelist_head_ VIST_GUARDED_BY(mu_) = kInvalidPageId;
   PageId meta_slots_[kNumMetaSlots] VIST_GUARDED_BY(mu_) = {};

@@ -96,6 +96,8 @@ VistIndex::~VistIndex() {
 }
 
 void VistIndex::SimulateCrashForTesting() {
+  // vist-lint: no-epoch-bump(simulated crash freezes state; nothing below
+  // commits a mutation readers could observe at a new epoch)
   WriterLock lock(mu_);
   crashed_ = true;
   pool_->SimulateCrashForTesting();
@@ -172,6 +174,8 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Create(
     root.n = 0;
     root.size = kMaxScope;
     index->allocator_->InitRecord(&root);
+    // vist-lint: no-epoch-bump(construction: the index is not shared yet,
+    // so there is no cache or router watching the epoch)
     WriterLock lock(index->mu_);
     VIST_RETURN_IF_ERROR(index->WriteRecord(index->root_key_, root));
   }

@@ -249,7 +249,7 @@ class VistIndex : public QueryableIndex {
   /// Readers/writer lock implementing the contract above: query paths hold
   /// it shared, mutation paths exclusive. Top of the lock order — acquired
   /// before any buffer-pool shard or pager mutex, and never the other way.
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kIndexWriter};
 
   const std::string dir_;
   VistOptions options_;

@@ -59,7 +59,7 @@ class Gate {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestHarness};
   std::condition_variable_any cv_;
   int parked_ VIST_GUARDED_BY(mu_) = 0;
   bool open_ VIST_GUARDED_BY(mu_) = false;

@@ -26,7 +26,7 @@ class Counter {
  private:
   void BumpLocked() VIST_REQUIRES(mu_) { ++value_; }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTestHarness};
   uint64_t value_ VIST_GUARDED_BY(mu_) = 0;
 };
 
@@ -43,7 +43,7 @@ class Table {
   }
 
  private:
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kTestHarness};
   uint64_t size_ VIST_GUARDED_BY(mu_) = 0;
 };
 

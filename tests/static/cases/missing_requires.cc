@@ -18,7 +18,7 @@ class Counter {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestHarness};
   uint64_t value_ VIST_GUARDED_BY(mu_) = 0;
 };
 

@@ -13,7 +13,7 @@ class Counter {
   uint64_t Get() const { return value_; }  // violation: mu_ not held
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTestHarness};
   uint64_t value_ VIST_GUARDED_BY(mu_) = 0;
 };
 

@@ -18,7 +18,7 @@ class Table {
   }
 
  private:
-  SharedMutex mu_;
+  SharedMutex mu_{LockRank::kTestHarness};
   uint64_t size_ VIST_GUARDED_BY(mu_) = 0;
 };
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Mutant suite for scripts/vist_lint.py: copies the real tree, seeds one
+# violation of each rule, and requires the linter to (a) pass on the
+# unmutated copy and (b) flag exactly the seeded rule. A linter that goes
+# blind to any rule — or starts flagging the clean tree — fails here, so
+# the gate in scripts/check_invariants.sh stays signal, not noise.
+# Usage: lint_mutant_test.sh <repo-root>
+set -euo pipefail
+
+ROOT="${1:?usage: lint_mutant_test.sh <repo-root>}"
+LINT="$ROOT/scripts/vist_lint.py"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "lint_mutant_test: python3 not found; skipping (exit 77)" >&2
+  exit 77
+fi
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/vist_lint_mutant.XXXXXX")"
+trap 'rm -rf "$TMP"' EXIT
+
+# The linter only reads src/tests/bench/examples (and docs for the
+# lock-table checks, which this suite does not mutate).
+cp -r "$ROOT/src" "$ROOT/tests" "$ROOT/bench" "$ROOT/examples" "$TMP/"
+
+run_lint() { python3 "$LINT" --root "$TMP"; }
+
+fail() { echo "lint_mutant_test: FAIL: $*" >&2; exit 1; }
+
+restore() { # restore <relative-path>
+  cp "$ROOT/$1" "$TMP/$1"
+}
+
+# expect_finding <mutant-name> <rule-tag> <output-substring>
+expect_finding() {
+  local name="$1" tag="$2" needle="$3" out rc=0
+  out="$(run_lint 2>&1)" && rc=0 || rc=$?
+  [[ $rc -eq 1 ]] || fail "$name: expected exit 1, got $rc"$'\n'"$out"
+  grep -qF "[$tag]" <<<"$out" || \
+    fail "$name: expected a [$tag] finding"$'\n'"$out"
+  grep -qF "$needle" <<<"$out" || \
+    fail "$name: expected output mentioning '$needle'"$'\n'"$out"
+  echo "lint_mutant_test: $name caught by [$tag]"
+}
+
+# Baseline: the unmutated copy must be clean, or every expectation below
+# is meaningless.
+run_lint >/dev/null || fail "baseline tree is not lint-clean"
+
+# Mutant 1 [epoch-bump]: delete the first BumpEpoch() after a WriterLock
+# in the ViST engine — the FrozenEpochIndex bug (mutation invisible to
+# CachingIndex/Router invalidation).
+sed -i '0,/^  BumpEpoch();$/{/^  BumpEpoch();$/d}' \
+  "$TMP/src/vist/vist_index.cc"
+expect_finding "missing-epoch-bump" epoch-bump "never calls BumpEpoch()"
+restore src/vist/vist_index.cc
+
+# Mutant 2 [epoch-bump]: bump twice in one writer section — spurious
+# wholesale cache invalidation.
+sed -i '0,/^  BumpEpoch();$/{s/^  BumpEpoch();$/  BumpEpoch();\n  BumpEpoch();/}' \
+  "$TMP/src/vist/vist_index.cc"
+expect_finding "double-epoch-bump" epoch-bump "2 times"
+restore src/vist/vist_index.cc
+
+# Mutant 3 [raw-mutex]: a raw std::mutex outside common/mutex.h —
+# invisible to both the thread-safety annotations and lockdep.
+cat > "$TMP/tests/sneaky_raw_mutex.cc" <<'EOF'
+#include <mutex>
+std::mutex g_sneaky_mu;
+void Sneak() { std::lock_guard<std::mutex> lock(g_sneaky_mu); }
+EOF
+expect_finding "raw-std-mutex" raw-mutex "std::mutex"
+rm "$TMP/tests/sneaky_raw_mutex.cc"
+
+# Mutant 4 [ignore-error]: strip the justification comment off a real
+# IgnoreError call site.
+sed -i '/Faults may kill individual inserts/d;/what the end-state checks assert/d' \
+  "$TMP/tests/server/chaos_test.cc"
+grep -q "IgnoreError" "$TMP/tests/server/chaos_test.cc" || \
+  fail "mutant 4 setup: chaos_test.cc no longer calls IgnoreError"
+expect_finding "undocumented-ignore-error" ignore-error "justification"
+restore tests/server/chaos_test.cc
+
+# Mutant 5 [status-switch]: drop a case label from the wire-status
+# decoder — the switch silently stops covering the enum.
+sed -i '/case WireStatus::kBusy:/d' "$TMP/src/server/protocol.cc"
+expect_finding "missing-switch-case" status-switch "kBusy"
+restore src/server/protocol.cc
+
+# And the tree must be clean again once every mutant is reverted.
+run_lint >/dev/null || fail "tree not clean after restoring all mutants"
+
+echo "lint_mutant_test: PASS"

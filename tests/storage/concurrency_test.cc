@@ -5,7 +5,7 @@
 // of threads may Fetch concurrently — including misses that evict, misses
 // that collide on one absent page, and misses whose disk read fails — and
 // each fetch observes fully loaded page contents. B+ tree reads follow the
-// caller-enforced many-readers/one-writer rule via a std::shared_mutex,
+// caller-enforced many-readers/one-writer rule via a vist::SharedMutex,
 // exactly as the index classes use it.
 
 #include <gtest/gtest.h>
@@ -14,11 +14,11 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
@@ -280,7 +280,7 @@ TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
     ASSERT_TRUE((*tree)->Put(key("base/", i), "x").ok());
   }
 
-  std::shared_mutex mu;
+  SharedMutex mu{LockRank::kTestHarness};
   std::atomic<bool> stop{false};
   std::atomic<int> bad{0};
   std::vector<std::thread> readers;
@@ -289,7 +289,7 @@ TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
       Lcg rng{static_cast<uint64_t>(t) + 7};
       while (!stop.load(std::memory_order_acquire)) {
         {
-          std::shared_lock<std::shared_mutex> lock(mu);
+          ReaderLock lock(mu);
           const int k = static_cast<int>(rng.Next() % kBase);
           auto value = (*tree)->Get(key("base/", k));
           if (!value.ok() || *value != "x") {
@@ -306,7 +306,7 @@ TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
   }
   std::thread writer([&] {
     for (int i = 0; i < 400; ++i) {
-      std::unique_lock<std::shared_mutex> lock(mu);
+      WriterLock lock(mu);
       if (!(*tree)->Put(key("new/", i), "y").ok()) {
         bad.fetch_add(1);
         return;
