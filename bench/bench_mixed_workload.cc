@@ -37,6 +37,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -305,6 +306,68 @@ Cell RunWriterBurst(uint16_t port, int corpus_docs, int threads,
   return cell;
 }
 
+/// writer_stall: the snapshot-read SLO claim in numbers (docs/CONCURRENCY.md
+/// "Writers never block readers"). Two read-only cells over one server:
+/// `reader_idle` runs with no writer anywhere, then `writer_stall` runs
+/// the identical read load while a dedicated connection fires back-to-back
+/// INSERTs for the *whole* window — so the writer_stall p50/p95/p99
+/// columns are reader latency measured during a continuous bulk insert.
+/// With copy-on-write snapshot reads the two tails must be close:
+/// acceptance is writer_stall p99 within 2x of reader_idle p99. Two
+/// choices isolate the locking signal from confounders: the server is
+/// *uncached* (every insert bumps the epoch and flushes the result cache,
+/// so a cached baseline would compare idle cache hits against under-insert
+/// engine work), and the readers run the paper's branching query
+/// (milliseconds of page scanning under the pinned snapshot) rather than
+/// a microsecond point lookup — on few-core hosts a point read's tail
+/// otherwise just measures the scheduler preempting it for the insert's
+/// CPU slice, which no locking design can remove.
+std::pair<Cell, Cell> RunWriterStall(QueryableIndex* index,
+                                     server::DocumentWriter* doc_writer,
+                                     int corpus_docs, int threads) {
+  server::ServerOptions server_options;
+  server_options.num_workers = 4;
+  server::VistServer server(index, doc_writer, server_options);
+  CheckOk(server.Start(), "start stall server");
+  const uint16_t port = server.port();
+
+  Cell idle = RunCell(port, corpus_docs, /*read_fraction=*/1.0,
+                      /*theta=*/0.8, threads, /*window_ms=*/2 * kWindowMs,
+                      /*mid_window_hook=*/nullptr, /*call_timeout_ms=*/0,
+                      /*heavy_reads=*/true);
+  idle.scenario = "reader_idle";
+
+  std::atomic<bool> writer_stop{false};
+  std::atomic<uint64_t> inserted{0};
+  std::thread writer_thread([&] {
+    auto connected = server::Client::Connect("127.0.0.1", port);
+    if (!connected.ok()) return;
+    auto client = std::move(connected).value();
+    // Ids far above every other writer's range.
+    const uint64_t base = static_cast<uint64_t>(corpus_docs) + 2000000;
+    while (!writer_stop.load(std::memory_order_acquire)) {
+      const uint64_t id = base + inserted.load(std::memory_order_relaxed);
+      if (!client->Insert(UniqueDoc(id), id).ok()) return;
+      inserted.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (uint64_t i = 0; i < inserted.load(std::memory_order_relaxed); ++i) {
+      // Best-effort restore so later scenario cells start from the same
+      // corpus; a leftover doc only shifts their id ranges, never results.
+      IgnoreError(client->Delete(UniqueDoc(base + i), base + i));
+    }
+  });
+  Cell stall = RunCell(port, corpus_docs, /*read_fraction=*/1.0,
+                       /*theta=*/0.8, threads, /*window_ms=*/2 * kWindowMs,
+                       /*mid_window_hook=*/nullptr, /*call_timeout_ms=*/0,
+                       /*heavy_reads=*/true);
+  writer_stop.store(true, std::memory_order_release);
+  writer_thread.join();
+  server.Stop();
+  stall.scenario = "writer_stall";
+  stall.burst_ops = inserted.load();
+  return {std::move(idle), std::move(stall)};
+}
+
 /// deadline_storm: a single-worker server over the *uncached* index (a
 /// cache hit would defeat the storm) behind a proxy that adds fixed
 /// latency, hammered by read-only clients issuing the expensive branching
@@ -457,6 +520,17 @@ void PrintSummary(const std::vector<Cell>& cells) {
              static_cast<unsigned long long>(cell.client_timeouts));
     }
   }
+  double idle_p99 = 0, stall_p99 = 0;
+  for (const Cell& cell : cells) {
+    if (cell.scenario == "reader_idle") idle_p99 = cell.p99_us;
+    if (cell.scenario == "writer_stall") stall_p99 = cell.p99_us;
+  }
+  if (idle_p99 > 0 && stall_p99 > 0) {
+    printf("\nwriter_stall: reader p99 %.0f us during continuous bulk "
+           "insert vs %.0f us idle-writer (%.2fx; snapshot-read target "
+           "<= 2.00x)\n",
+           stall_p99, idle_p99, stall_p99 / idle_p99);
+  }
   printf("\nFull cells in BENCH_mixed_workload.json; schema and analysis "
          "in EXPERIMENTS.md.\n");
 }
@@ -486,6 +560,10 @@ void Run() {
       RunWriterBurst(server.port(), corpus.docs, /*threads=*/4,
                      /*burst_ops=*/Scaled(200)));
   server.Stop();
+  auto stall_cells = RunWriterStall(corpus.index.get(), &writer, corpus.docs,
+                                    /*threads=*/4);
+  cells.push_back(std::move(stall_cells.first));
+  cells.push_back(std::move(stall_cells.second));
   cells.push_back(RunDeadlineStorm(corpus.index.get(), &writer, corpus.docs,
                                    /*threads=*/8));
   cells.push_back(RunCrashRecover(/*threads=*/2));

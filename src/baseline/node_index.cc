@@ -14,6 +14,12 @@
 namespace vist {
 namespace {
 
+constexpr int kTreeSlot = 0;
+// Scalar slots, versioned with the tree root so a snapshot's scalars match
+// its tree.
+constexpr int kMaxDepthSlot = 1;
+constexpr int kNumDocumentsSlot = 2;
+
 // Entry key: symbol (8B BE) ‖ doc id (8B BE) ‖ start (4B BE); value:
 // end (4B BE) ‖ level (4B BE). Per-symbol postings arrive sorted by
 // (doc, start) for free.
@@ -71,9 +77,19 @@ Result<std::unique_ptr<NodeIndex>> NodeIndex::Create(
   const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);
   index->pool_ =
       std::make_unique<BufferPool>(index->pager_.get(), pool_pages);
-  VIST_ASSIGN_OR_RETURN(index->tree_,
-                        BTree::Create(index->pager_.get(),
-                                      index->pool_.get(), /*meta_slot=*/0));
+  index->versions_ = std::make_unique<VersionManager>(index->pager_.get(),
+                                                      index->pool_.get());
+  index->versions_->Bootstrap();
+  index->versions_->BeginWrite();
+  auto created = BTree::Create(index->pager_.get(), index->pool_.get(),
+                               index->versions_.get(), kTreeSlot);
+  if (created.ok()) {
+    index->tree_ = std::move(*created);
+    VIST_RETURN_IF_ERROR(index->versions_->Commit(/*epoch=*/0));
+  } else {
+    index->versions_->Abort();
+    return created.status();
+  }
   return index;
 }
 
@@ -122,29 +138,52 @@ void NodeIndex::EnumerateRegions(const xml::Node& root, uint64_t doc_id,
 
 Status NodeIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
-  // Every public mutating entry point bumps the epoch exactly once while
-  // the writer lock is held (exec/queryable_index.h).
+  versions_->BeginWrite();
+  Status s = InsertDocumentImpl(root, doc_id);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
+  // Install-then-bump (the QueryableIndex epoch contract).
   BumpEpoch();
-  ++num_documents_;
+  return s;
+}
+
+Status NodeIndex::InsertDocumentImpl(const xml::Node& root, uint64_t doc_id) {
+  versions_->SetWorkingSlot(kNumDocumentsSlot,
+                            versions_->WorkingSlot(kNumDocumentsSlot) + 1);
+  uint64_t max_depth = versions_->WorkingSlot(kMaxDepthSlot);
   std::vector<std::pair<Symbol, Region>> entries;
   EnumerateRegions(root, doc_id, &entries);
-  Status status;
   for (const auto& [symbol, region] : entries) {
     // Depth counts element/attribute nesting only, as before the
     // enumerator refactor (value leaves ride at their owner's depth).
     if (!IsValueSymbol(symbol)) {
-      max_depth_ = std::max<uint64_t>(max_depth_, region.level + 1);
+      max_depth = std::max<uint64_t>(max_depth, region.level + 1);
     }
-    Status s = PutRegion(symbol, region);
-    if (!s.ok()) status = s;
+    VIST_RETURN_IF_ERROR(PutRegion(symbol, region));
   }
-  return status;
+  versions_->SetWorkingSlot(kMaxDepthSlot, max_depth);
+  return Status::OK();
 }
 
 Status NodeIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
+  versions_->BeginWrite();
+  Status s = DeleteDocumentImpl(root, doc_id);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
   BumpEpoch();
-  if (num_documents_ > 0) --num_documents_;
+  return s;
+}
+
+Status NodeIndex::DeleteDocumentImpl(const xml::Node& root, uint64_t doc_id) {
+  const uint64_t docs = versions_->WorkingSlot(kNumDocumentsSlot);
+  if (docs > 0) versions_->SetWorkingSlot(kNumDocumentsSlot, docs - 1);
   std::vector<std::pair<Symbol, Region>> entries;
   EnumerateRegions(root, doc_id, &entries);
   for (const auto& [symbol, region] : entries) {
@@ -158,11 +197,37 @@ Status NodeIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
   return Status::OK();
 }
 
+std::shared_ptr<const NodeSnapshot> NodeIndex::PinSnapshot() const {
+  std::shared_ptr<NodeSnapshot> snap(new NodeSnapshot());
+  snap->owner_ = this;
+  snap->version_ = versions_->Pin();
+  snap->tree_ = tree_->ViewAt(*snap->version_);
+  return snap;
+}
+
+Result<std::shared_ptr<const NodeSnapshot>> NodeIndex::ResolveSnapshot(
+    const QueryOptions& options) const {
+  if (options.snapshot == nullptr) return PinSnapshot();
+  const auto* snap = dynamic_cast<const NodeSnapshot*>(options.snapshot);
+  if (snap == nullptr || snap->owner_ != this) {
+    return Status::InvalidArgument(
+        "QueryOptions::snapshot was not issued by this NodeIndex");
+  }
+  // Borrowed: the caller keeps the owning shared_ptr alive for the call
+  // (QueryOptions contract), so a non-owning alias is sound here.
+  return std::shared_ptr<const NodeSnapshot>(
+      std::shared_ptr<const NodeSnapshot>(), snap);
+}
+
+Result<std::shared_ptr<const Snapshot>> NodeIndex::GetSnapshot() {
+  return std::shared_ptr<const Snapshot>(PinSnapshot());
+}
+
 Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(
-    Symbol symbol, DeadlineChecker* checker) {
+    const NodeSnapshot& snap, Symbol symbol, DeadlineChecker* checker) {
   std::vector<Region> regions;
   const std::string lo = EncodeRegionKey(symbol, 0, 0);
-  auto it = tree_->NewIterator();
+  auto it = snap.tree_.NewIterator();
   it->set_deadline_checker(checker);
   for (it->Seek(lo); it->Valid(); it->Next()) {
     if (DecodeFixed64BE(it->key().data()) != symbol) break;
@@ -178,13 +243,13 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::FetchSymbol(
 }
 
 Result<std::vector<NodeIndex::Region>> NodeIndex::FetchAllNames(
-    DeadlineChecker* checker) {
+    const NodeSnapshot& snap, DeadlineChecker* checker) {
   // '*' has no posting of its own: scan every name symbol (this full-index
   // cost is precisely why the paper's Q3/Q4 hurt node indexes).
   std::vector<Region> regions;
   const std::string lo = EncodeRegionKey(1, 0, 0);
   const std::string hi = EncodeRegionKey(kStarSymbol, 0, 0);
-  auto it = tree_->NewIterator();
+  auto it = snap.tree_.NewIterator();
   it->set_deadline_checker(checker);
   for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0; it->Next()) {
     Region region;
@@ -226,19 +291,20 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::StructuralJoin(
 }
 
 Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
-    const query::QueryNode& node, uint64_t* joins, DeadlineChecker* checker) {
+    const NodeSnapshot& snap, const query::QueryNode& node, uint64_t* joins,
+    DeadlineChecker* checker) {
   using query::QueryNode;
   if (checker != nullptr && checker->Expired()) {
     return Status::DeadlineExceeded("deadline expired during evaluation");
   }
   std::vector<Region> candidates;
   if (node.kind == QueryNode::Kind::kStar) {
-    VIST_ASSIGN_OR_RETURN(candidates, FetchAllNames(checker));
+    VIST_ASSIGN_OR_RETURN(candidates, FetchAllNames(snap, checker));
   } else {
     VIST_CHECK(node.kind == QueryNode::Kind::kName);
     auto symbol = symtab_->Lookup(node.name);
     if (!symbol.ok()) return std::vector<Region>{};  // name never indexed
-    VIST_ASSIGN_OR_RETURN(candidates, FetchSymbol(*symbol, checker));
+    VIST_ASSIGN_OR_RETURN(candidates, FetchSymbol(snap, *symbol, checker));
   }
   for (const auto& child : node.children) {
     if (candidates.empty()) break;
@@ -246,7 +312,8 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
       case QueryNode::Kind::kValue: {
         VIST_ASSIGN_OR_RETURN(
             std::vector<Region> values,
-            FetchSymbol(SymbolTable::ValueSymbol(child->value), checker));
+            FetchSymbol(snap, SymbolTable::ValueSymbol(child->value),
+                        checker));
         VIST_ASSIGN_OR_RETURN(
             candidates, StructuralJoin(candidates, values,
                                        /*parent_child=*/true, joins, checker));
@@ -255,7 +322,7 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
       case QueryNode::Kind::kName:
       case QueryNode::Kind::kStar: {
         VIST_ASSIGN_OR_RETURN(std::vector<Region> kids,
-                              EvalStep(*child, joins, checker));
+                              EvalStep(snap, *child, joins, checker));
         VIST_ASSIGN_OR_RETURN(
             candidates, StructuralJoin(candidates, kids,
                                        /*parent_child=*/true, joins, checker));
@@ -265,7 +332,7 @@ Result<std::vector<NodeIndex::Region>> NodeIndex::EvalStep(
         // The single target below '//' may sit at any depth.
         for (const auto& target : child->children) {
           VIST_ASSIGN_OR_RETURN(std::vector<Region> kids,
-                                EvalStep(*target, joins, checker));
+                                EvalStep(snap, *target, joins, checker));
           VIST_ASSIGN_OR_RETURN(
               candidates,
               StructuralJoin(candidates, kids, /*parent_child=*/false, joins,
@@ -283,13 +350,6 @@ Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
   VIST_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
                         Prepare(path, options));
   return QueryWithPlan(*plan, options);
-}
-
-Result<std::vector<uint64_t>> NodeIndex::Query(std::string_view path,
-                                               obs::QueryProfile* profile) {
-  QueryOptions options;
-  options.profile = profile;
-  return Query(path, options);
 }
 
 Result<std::shared_ptr<const QueryPlan>> NodeIndex::Prepare(
@@ -316,11 +376,13 @@ Result<std::vector<uint64_t>> NodeIndex::QueryWithPlan(
     profile->engine = "node_index";
     profile->query = plan.path();
   }
-  ReaderLock lock(mu_);
+  // Lock-free: the whole evaluation reads one pinned version.
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const NodeSnapshot> snap,
+                        ResolveSnapshot(options));
   obs::ProfileScope scope(profile);
   DeadlineChecker checker(options.deadline);
   uint64_t query_joins = 0;
-  auto result = EvalTree(node_plan->tree(), &query_joins, &checker);
+  auto result = EvalTree(*snap, node_plan->tree(), &query_joins, &checker);
   last_query_joins_.store(query_joins, std::memory_order_relaxed);
   joins.Increment(query_joins);
   if (profile != nullptr) {
@@ -335,18 +397,19 @@ Result<std::vector<uint64_t>> NodeIndex::QueryWithPlan(
   return result;
 }
 
-Result<std::vector<uint64_t>> NodeIndex::EvalTree(const query::QueryTree& tree,
+Result<std::vector<uint64_t>> NodeIndex::EvalTree(const NodeSnapshot& snap,
+                                                  const query::QueryTree& tree,
                                                   uint64_t* joins,
                                                   DeadlineChecker* checker) {
   std::vector<Region> matches;
   if (tree.root->kind == query::QueryNode::Kind::kDescendant) {
     for (const auto& target : tree.root->children) {
       VIST_ASSIGN_OR_RETURN(std::vector<Region> some,
-                            EvalStep(*target, joins, checker));
+                            EvalStep(snap, *target, joins, checker));
       matches.insert(matches.end(), some.begin(), some.end());
     }
   } else {
-    VIST_ASSIGN_OR_RETURN(matches, EvalStep(*tree.root, joins, checker));
+    VIST_ASSIGN_OR_RETURN(matches, EvalStep(snap, *tree.root, joins, checker));
     // Absolute path: the first step must be the document root.
     matches.erase(std::remove_if(matches.begin(), matches.end(),
                                  [](const Region& region) {
@@ -360,19 +423,23 @@ Result<std::vector<uint64_t>> NodeIndex::EvalTree(const query::QueryTree& tree,
 }
 
 Result<IndexStats> NodeIndex::Stats() {
-  ReaderLock lock(mu_);
+  std::shared_ptr<const NodeSnapshot> snap = PinSnapshot();
   IndexStats stats;
   stats.size_bytes = pager_->page_count() * pager_->page_size();
-  stats.num_documents = num_documents_;
-  stats.max_depth = max_depth_;
+  stats.num_documents = snap->version_->slots[kNumDocumentsSlot];
+  stats.max_depth = snap->version_->slots[kMaxDepthSlot];
   return stats;
 }
 
 Status NodeIndex::Flush() {
   WriterLock lock(mu_);
+  // Return limbo pages whose last pinning reader has departed before
+  // syncing, so the durable freelist accounts for them.
+  Status s = versions_->ReclaimEligible();
+  if (s.ok()) s = pool_->FlushAll();
+  if (s.ok()) s = pager_->Sync();
   BumpEpoch();
-  VIST_RETURN_IF_ERROR(pool_->FlushAll());
-  return pager_->Sync();
+  return s;
 }
 
 }  // namespace vist

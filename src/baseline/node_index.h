@@ -28,6 +28,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/version.h"
 #include "xml/node.h"
 
 namespace vist {
@@ -39,10 +40,26 @@ struct NodeIndexOptions {
   Env* env = nullptr;  // null: Env::Default(); must outlive the index
 };
 
-// Threading: same contract as VistIndex (docs/CONCURRENCY.md) so the
-// Table-4 comparison measures index structure, not lock shape — Query runs
-// under a shared lock and may be called from many threads; InsertDocument
-// takes the writer side.
+/// NodeIndex's pinned read view: one published Version plus the region
+/// tree resolved from it.
+class NodeSnapshot : public Snapshot {
+ public:
+  uint64_t epoch() const override { return version_->epoch; }
+
+ private:
+  friend class NodeIndex;
+  NodeSnapshot() = default;
+
+  const class NodeIndex* owner_ = nullptr;
+  std::shared_ptr<const Version> version_;
+  BTreeView tree_;
+};
+
+// Threading: same contract as VistIndex (docs/CONCURRENCY.md "Snapshots")
+// so the Table-4 comparison measures index structure, not lock shape —
+// mutations serialize behind the writer lock and commit as copy-on-write
+// version installs; queries take no lock, pinning the current version
+// instead, so a reader never waits on an in-flight writer.
 class NodeIndex : public QueryableIndex {
  public:
   /// Creates an empty node index in `dir`. Names are interned into the
@@ -55,7 +72,8 @@ class NodeIndex : public QueryableIndex {
   NodeIndex(const NodeIndex&) = delete;
   NodeIndex& operator=(const NodeIndex&) = delete;
 
-  /// Region-labels and indexes one document.
+  /// Region-labels and indexes one document. Commits atomically: on error
+  /// nothing is published and readers keep the previous version.
   Status InsertDocument(const xml::Node& root, uint64_t doc_id);
 
   /// Removes a document previously inserted with this exact content under
@@ -68,12 +86,6 @@ class NodeIndex : public QueryableIndex {
   Result<std::vector<uint64_t>> Query(std::string_view path,
                                       const QueryOptions& options = {}) override;
 
-  /// Deprecated pre-QueryOptions signature; forwards to the overload
-  /// above with options.profile = profile. Removed next PR.
-  [[deprecated("use Query(path, QueryOptions{.profile = ...})")]]
-  Result<std::vector<uint64_t>> Query(std::string_view path,
-                                      obs::QueryProfile* profile);
-
   /// Parses a path expression into a query-tree plan. Always cacheable:
   /// symbol lookup happens at execution time, so the plan never pins a
   /// stale "name unknown" conclusion.
@@ -84,6 +96,9 @@ class NodeIndex : public QueryableIndex {
   /// (InvalidArgument for any other plan).
   Result<std::vector<uint64_t>> QueryWithPlan(
       const QueryPlan& plan, const QueryOptions& options = {}) override;
+
+  /// Pins the current committed version as a NodeSnapshot — lock-free.
+  Result<std::shared_ptr<const Snapshot>> GetSnapshot() override;
 
   /// Fills size_bytes, num_documents, and max_depth; the ViST-specific
   /// fields stay zero.
@@ -119,6 +134,18 @@ class NodeIndex : public QueryableIndex {
   NodeIndex(SymbolTable* symtab, NodeIndexOptions options)
       : symtab_(symtab), options_(options) {}
 
+  /// Writer-side bodies, run inside an open write transaction.
+  Status InsertDocumentImpl(const xml::Node& root, uint64_t doc_id)
+      VIST_REQUIRES(mu_);
+  Status DeleteDocumentImpl(const xml::Node& root, uint64_t doc_id)
+      VIST_REQUIRES(mu_);
+
+  /// Pins the current version and builds its tree view (never fails).
+  std::shared_ptr<const NodeSnapshot> PinSnapshot() const;
+  /// options.snapshot when set (validated to be ours), else PinSnapshot().
+  Result<std::shared_ptr<const NodeSnapshot>> ResolveSnapshot(
+      const QueryOptions& options) const;
+
   /// Region-labels `root` exactly as indexing does — start = preorder
   /// rank, end = rank of the last descendant, level = depth, values
   /// labeled as children of their owner — appending one (symbol, region)
@@ -127,42 +154,43 @@ class NodeIndex : public QueryableIndex {
   void EnumerateRegions(const xml::Node& root, uint64_t doc_id,
                         std::vector<std::pair<Symbol, Region>>* out);
 
-  /// Plan body: bottom-up structural-join evaluation of the query tree.
-  /// The join count accumulates into `*joins` (local to the query) so
-  /// concurrent queries don't scribble on one shared member. `checker`
-  /// (borrowed, possibly null) supplies the cooperative-cancellation
-  /// checkpoints for the posting scans and join loops.
-  Result<std::vector<uint64_t>> EvalTree(const query::QueryTree& tree,
+  /// Plan body: bottom-up structural-join evaluation of the query tree
+  /// against `snap` (lock-free). The join count accumulates into `*joins`
+  /// (local to the query) so concurrent queries don't scribble on one
+  /// shared member. `checker` (borrowed, possibly null) supplies the
+  /// cooperative-cancellation checkpoints for posting scans and join
+  /// loops.
+  Result<std::vector<uint64_t>> EvalTree(const NodeSnapshot& snap,
+                                         const query::QueryTree& tree,
                                          uint64_t* joins,
-                                         DeadlineChecker* checker)
-      VIST_REQUIRES_SHARED(mu_);
+                                         DeadlineChecker* checker);
 
   Status PutRegion(Symbol symbol, const Region& region) VIST_REQUIRES(mu_);
-  Result<std::vector<Region>> FetchSymbol(Symbol symbol,
-                                          DeadlineChecker* checker)
-      VIST_REQUIRES_SHARED(mu_);
-  Result<std::vector<Region>> FetchAllNames(DeadlineChecker* checker)
-      VIST_REQUIRES_SHARED(mu_);
+  Result<std::vector<Region>> FetchSymbol(const NodeSnapshot& snap,
+                                          Symbol symbol,
+                                          DeadlineChecker* checker);
+  Result<std::vector<Region>> FetchAllNames(const NodeSnapshot& snap,
+                                            DeadlineChecker* checker);
 
-  Result<std::vector<Region>> EvalStep(const query::QueryNode& node,
+  Result<std::vector<Region>> EvalStep(const NodeSnapshot& snap,
+                                       const query::QueryNode& node,
                                        uint64_t* joins,
-                                       DeadlineChecker* checker)
-      VIST_REQUIRES_SHARED(mu_);
+                                       DeadlineChecker* checker);
   Result<std::vector<Region>> StructuralJoin(
       const std::vector<Region>& parents, const std::vector<Region>& children,
       bool parent_child, uint64_t* joins, DeadlineChecker* checker);
 
-  /// Readers/writer lock: Query shared, InsertDocument exclusive (same
-  /// shape as VistIndex::mu_, above the storage latches in lock order).
+  /// Writer lock: serializes mutations against each other; queries never
+  /// touch it (they pin versions instead).
   mutable SharedMutex mu_{LockRank::kIndexWriter};
 
   SymbolTable* symtab_;
   NodeIndexOptions options_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  // Declared after pool_ (destroyed first): reclamation frees through it.
+  std::unique_ptr<VersionManager> versions_;
   std::unique_ptr<BTree> tree_;
-  uint64_t max_depth_ VIST_GUARDED_BY(mu_) = 0;
-  uint64_t num_documents_ VIST_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> last_query_joins_{0};
 };
 

@@ -13,6 +13,12 @@
 namespace vist {
 namespace {
 
+constexpr int kTreeSlot = 0;
+// Scalar slots, versioned with the tree root so a snapshot's scalars match
+// its tree.
+constexpr int kMaxDepthSlot = 1;
+constexpr int kNumDocumentsSlot = 2;
+
 // Path key: length (2B BE) ‖ symbols (8B BE each); entries append the
 // doc id (8B BE). The length-first order groups paths by depth so wildcard
 // scans can work one depth bucket at a time, like the D-key order.
@@ -140,6 +146,11 @@ class PathQueryPlan : public QueryPlan {
 
 }  // namespace
 
+PathIndex::PathIndex(const SymbolTable* symtab, PathIndexOptions options)
+    : symtab_(symtab), options_(options) {
+  refined_.Store(std::make_shared<const std::vector<RefinedPath>>());
+}
+
 Result<std::unique_ptr<PathIndex>> PathIndex::Create(
     const std::string& dir, const SymbolTable* symtab,
     const PathIndexOptions& options) {
@@ -157,49 +168,87 @@ Result<std::unique_ptr<PathIndex>> PathIndex::Create(
   const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);
   index->pool_ =
       std::make_unique<BufferPool>(index->pager_.get(), pool_pages);
-  VIST_ASSIGN_OR_RETURN(index->tree_,
-                        BTree::Create(index->pager_.get(),
-                                      index->pool_.get(), /*meta_slot=*/0));
+  index->versions_ = std::make_unique<VersionManager>(index->pager_.get(),
+                                                      index->pool_.get());
+  index->versions_->Bootstrap();
+  index->versions_->BeginWrite();
+  auto created = BTree::Create(index->pager_.get(), index->pool_.get(),
+                               index->versions_.get(), kTreeSlot);
+  if (created.ok()) {
+    index->tree_ = std::move(*created);
+    VIST_RETURN_IF_ERROR(index->versions_->Commit(/*epoch=*/0));
+  } else {
+    index->versions_->Abort();
+    return created.status();
+  }
   return index;
 }
 
 Status PathIndex::AddRefinedPath(std::string_view path) {
   WriterLock lock(mu_);
-  // Every public mutating entry point bumps the epoch exactly once while
-  // the writer lock is held (exec/queryable_index.h). A new refined path
-  // changes how its pattern is answered, so it must invalidate too.
-  BumpEpoch();
+  versions_->BeginWrite();
   query::CompileOptions compile_options;
   compile_options.max_alternatives = options_.max_alternatives;
-  VIST_ASSIGN_OR_RETURN(query::CompiledQuery compiled,
-                        query::CompilePath(path, *symtab_, compile_options));
-  RefinedPath refined;
-  refined.pattern = std::string(path);
-  refined.compiled = std::move(compiled);
-  refined.id = static_cast<uint32_t>(refined_.size());
-  refined_.push_back(std::move(refined));
-  return Status::OK();
+  auto compiled = query::CompilePath(path, *symtab_, compile_options);
+  Status s = compiled.status();
+  if (s.ok()) {
+    auto current = refined_.Load();
+    auto next = std::make_shared<std::vector<RefinedPath>>(*current);
+    RefinedPath refined;
+    refined.pattern = std::string(path);
+    refined.compiled = std::move(*compiled);
+    refined.id = static_cast<uint32_t>(next->size());
+    next->push_back(std::move(refined));
+    // Swap the list before committing the (slot-less) version so any
+    // snapshot that pins the new version also sees the new list; a pin
+    // racing ahead of an unreturned AddRefinedPath is linearizable.
+    refined_.Store(std::move(next));
+    // Commit publishes a fresh Version even though no page changed, so the
+    // snapshot epoch still distinguishes pre- from post-registration state.
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
+  BumpEpoch();
+  return s;
 }
 
 Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
+  versions_->BeginWrite();
+  Status s = InsertSequenceImpl(sequence, doc_id);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
+  // Install-then-bump (the QueryableIndex epoch contract).
   BumpEpoch();
-  ++num_documents_;
+  return s;
+}
+
+Status PathIndex::InsertSequenceImpl(const Sequence& sequence,
+                                     uint64_t doc_id) {
+  versions_->SetWorkingSlot(kNumDocumentsSlot,
+                            versions_->WorkingSlot(kNumDocumentsSlot) + 1);
+  uint64_t max_depth = versions_->WorkingSlot(kMaxDepthSlot);
   std::vector<Symbol> path;
   for (const SequenceElement& element : sequence) {
     path = element.prefix;
     path.push_back(element.symbol);
     VIST_RETURN_IF_ERROR(
         tree_->Put(EncodePathEntryKey(path, doc_id), Slice()));
-    max_depth_ = std::max<uint64_t>(max_depth_, path.size());
+    max_depth = std::max<uint64_t>(max_depth, path.size());
   }
+  versions_->SetWorkingSlot(kMaxDepthSlot, max_depth);
   // Refined-path maintenance: every registered pattern is evaluated
   // against every inserted document.
-  for (const RefinedPath& refined : refined_) {
+  auto refined = refined_.Load();
+  for (const RefinedPath& entry : *refined) {
     refined_maintenance_checks_.fetch_add(1, std::memory_order_relaxed);
-    if (query::MatchesAny(refined.compiled, sequence)) {
+    if (query::MatchesAny(entry.compiled, sequence)) {
       VIST_RETURN_IF_ERROR(
-          tree_->Put(RefinedPostingKey(refined.id, doc_id), Slice()));
+          tree_->Put(RefinedPostingKey(entry.id, doc_id), Slice()));
     }
   }
   return Status::OK();
@@ -207,10 +256,21 @@ Status PathIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
 
 Status PathIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
-  // Every public mutating entry point bumps the epoch exactly once while
-  // the writer lock is held (exec/queryable_index.h).
+  versions_->BeginWrite();
+  Status s = DeleteSequenceImpl(sequence, doc_id);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
   BumpEpoch();
-  if (num_documents_ > 0) --num_documents_;
+  return s;
+}
+
+Status PathIndex::DeleteSequenceImpl(const Sequence& sequence,
+                                     uint64_t doc_id) {
+  const uint64_t docs = versions_->WorkingSlot(kNumDocumentsSlot);
+  if (docs > 0) versions_->SetWorkingSlot(kNumDocumentsSlot, docs - 1);
   std::vector<Symbol> path;
   for (const SequenceElement& element : sequence) {
     path = element.prefix;
@@ -220,18 +280,47 @@ Status PathIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
     // so the second removal of the same key legitimately finds nothing.
     if (!s.ok() && !s.IsNotFound()) return s;
   }
-  for (const RefinedPath& refined : refined_) {
+  auto refined = refined_.Load();
+  for (const RefinedPath& entry : *refined) {
     refined_maintenance_checks_.fetch_add(1, std::memory_order_relaxed);
-    if (query::MatchesAny(refined.compiled, sequence)) {
-      Status s = tree_->Delete(RefinedPostingKey(refined.id, doc_id));
+    if (query::MatchesAny(entry.compiled, sequence)) {
+      Status s = tree_->Delete(RefinedPostingKey(entry.id, doc_id));
       if (!s.ok() && !s.IsNotFound()) return s;
     }
   }
   return Status::OK();
 }
 
+std::shared_ptr<const PathSnapshot> PathIndex::PinSnapshot() const {
+  std::shared_ptr<PathSnapshot> snap(new PathSnapshot());
+  snap->owner_ = this;
+  snap->version_ = versions_->Pin();
+  snap->tree_ = tree_->ViewAt(*snap->version_);
+  snap->refined_ = refined_.Load();
+  return snap;
+}
+
+Result<std::shared_ptr<const PathSnapshot>> PathIndex::ResolveSnapshot(
+    const QueryOptions& options) const {
+  if (options.snapshot == nullptr) return PinSnapshot();
+  const auto* snap = dynamic_cast<const PathSnapshot*>(options.snapshot);
+  if (snap == nullptr || snap->owner_ != this) {
+    return Status::InvalidArgument(
+        "QueryOptions::snapshot was not issued by this PathIndex");
+  }
+  // Borrowed: the caller keeps the owning shared_ptr alive for the call
+  // (QueryOptions contract), so a non-owning alias is sound here.
+  return std::shared_ptr<const PathSnapshot>(
+      std::shared_ptr<const PathSnapshot>(), snap);
+}
+
+Result<std::shared_ptr<const Snapshot>> PathIndex::GetSnapshot() {
+  return std::shared_ptr<const Snapshot>(PinSnapshot());
+}
+
 Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
-    const std::vector<Symbol>& pattern, DeadlineChecker* checker) {
+    const PathSnapshot& snap, const std::vector<Symbol>& pattern,
+    DeadlineChecker* checker) {
   // Split the pattern into the concrete head and the wildcard-bearing rest.
   std::vector<Symbol> known;
   size_t stars = 0;
@@ -250,14 +339,15 @@ Result<std::vector<uint64_t>> PathIndex::EvalPathPattern(
   for (Symbol s : pattern) {
     if (s != kDescendantSymbol) ++min_len;
   }
+  const size_t indexed_depth = snap.version_->slots[kMaxDepthSlot];
   const size_t max_len =
-      unbounded ? std::max<size_t>(max_depth_, min_len) : min_len;
+      unbounded ? std::max<size_t>(indexed_depth, min_len) : min_len;
 
   std::set<uint64_t> docs;
   for (size_t len = min_len; len <= max_len; ++len) {
     const std::string partial = EncodePathKeyPartial(len, known);
     const std::string end = PrefixRangeEnd(partial);
-    auto it = tree_->NewIterator();
+    auto it = snap.tree_.NewIterator();
     it->set_deadline_checker(checker);
     for (it->Seek(partial);
          it->Valid() && (end.empty() || it->key().Compare(end) < 0);
@@ -282,13 +372,6 @@ Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
   VIST_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
                         Prepare(path, options));
   return QueryWithPlan(*plan, options);
-}
-
-Result<std::vector<uint64_t>> PathIndex::Query(std::string_view path,
-                                               obs::QueryProfile* profile) {
-  QueryOptions options;
-  options.profile = profile;
-  return Query(path, options);
 }
 
 Result<std::shared_ptr<const QueryPlan>> PathIndex::Prepare(
@@ -323,7 +406,10 @@ Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
     profile->engine = "path_index";
     profile->query = plan.path();
   }
-  ReaderLock lock(mu_);
+  // Lock-free: the whole query — posting-list check included — reads one
+  // pinned version.
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const PathSnapshot> snap,
+                        ResolveSnapshot(options));
   obs::ProfileScope scope(profile);
   DeadlineChecker checker(options.deadline);
   uint64_t query_joins = 0;
@@ -332,9 +418,9 @@ Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
   // A registered refined path short-circuits to its posting list. Checked
   // by exact query string at execution time, so a plan compiled (and
   // cached) before AddRefinedPath still gets the posting list.
-  for (const RefinedPath& refined : refined_) {
+  for (const RefinedPath& refined : *snap->refined_) {
     if (refined.pattern != plan.path()) continue;
-    result = ReadRefinedPosting(refined.id);
+    result = ReadRefinedPosting(*snap, refined.id);
     answered = true;
     break;
   }
@@ -342,7 +428,7 @@ Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
     answered = true;  // a name the index never saw: provably empty
   }
   if (!answered) {
-    result = EvalLeafPatterns(path_plan->leaf_paths(), &query_joins,
+    result = EvalLeafPatterns(*snap, path_plan->leaf_paths(), &query_joins,
                               &checker);
   }
   last_query_joins_.store(query_joins, std::memory_order_relaxed);
@@ -361,11 +447,11 @@ Result<std::vector<uint64_t>> PathIndex::QueryWithPlan(
 }
 
 Result<std::vector<uint64_t>> PathIndex::ReadRefinedPosting(
-    uint32_t refined_id) {
+    const PathSnapshot& snap, uint32_t refined_id) {
   std::vector<uint64_t> docs;
   const std::string lo = RefinedPostingKey(refined_id, 0);
   const std::string hi = RefinedPostingKey(refined_id + 1, 0);
-  auto it = tree_->NewIterator();
+  auto it = snap.tree_.NewIterator();
   for (it->Seek(lo); it->Valid() && it->key().Compare(hi) < 0; it->Next()) {
     docs.push_back(DecodeFixed64BE(it->key().data() + 6));
   }
@@ -374,13 +460,14 @@ Result<std::vector<uint64_t>> PathIndex::ReadRefinedPosting(
 }
 
 Result<std::vector<uint64_t>> PathIndex::EvalLeafPatterns(
+    const PathSnapshot& snap,
     const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins,
     DeadlineChecker* checker) {
   std::vector<uint64_t> result;
   bool first = true;
   for (const std::vector<Symbol>& pattern : patterns) {
     VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> docs,
-                          EvalPathPattern(pattern, checker));
+                          EvalPathPattern(snap, pattern, checker));
     if (first) {
       result = std::move(docs);
       first = false;
@@ -398,19 +485,23 @@ Result<std::vector<uint64_t>> PathIndex::EvalLeafPatterns(
 }
 
 Result<IndexStats> PathIndex::Stats() {
-  ReaderLock lock(mu_);
+  std::shared_ptr<const PathSnapshot> snap = PinSnapshot();
   IndexStats stats;
   stats.size_bytes = pager_->page_count() * pager_->page_size();
-  stats.num_documents = num_documents_;
-  stats.max_depth = max_depth_;
+  stats.num_documents = snap->version_->slots[kNumDocumentsSlot];
+  stats.max_depth = snap->version_->slots[kMaxDepthSlot];
   return stats;
 }
 
 Status PathIndex::Flush() {
   WriterLock lock(mu_);
+  // Return limbo pages whose last pinning reader has departed before
+  // syncing, so the durable freelist accounts for them.
+  Status s = versions_->ReclaimEligible();
+  if (s.ok()) s = pool_->FlushAll();
+  if (s.ok()) s = pager_->Sync();
   BumpEpoch();
-  VIST_RETURN_IF_ERROR(pool_->FlushAll());
-  return pager_->Sync();
+  return s;
 }
 
 }  // namespace vist

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_shared_ptr.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -39,6 +40,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/version.h"
 
 namespace vist {
 
@@ -50,10 +52,35 @@ struct PathIndexOptions {
   Env* env = nullptr;  // null: Env::Default(); must outlive the index
 };
 
-// Threading: same contract as VistIndex (docs/CONCURRENCY.md) so the
-// Table-4 comparison measures index structure, not lock shape — Query runs
-// under a shared lock and may be called from many threads; the mutating
-// calls (AddRefinedPath, InsertSequence) take the writer side.
+/// A registered refined path: the exact query string and its compiled
+/// form, evaluated against every inserted document.
+struct RefinedPath {
+  std::string pattern;            // the exact query string
+  query::CompiledQuery compiled;  // evaluated against every insert
+  uint32_t id = 0;                // posting-key namespace
+};
+
+/// PathIndex's pinned read view: one published Version, the path tree
+/// resolved from it, and the refined-path list current at pin time.
+class PathSnapshot : public Snapshot {
+ public:
+  uint64_t epoch() const override { return version_->epoch; }
+
+ private:
+  friend class PathIndex;
+  PathSnapshot() = default;
+
+  const class PathIndex* owner_ = nullptr;
+  std::shared_ptr<const Version> version_;
+  BTreeView tree_;
+  std::shared_ptr<const std::vector<RefinedPath>> refined_;
+};
+
+// Threading: same contract as VistIndex (docs/CONCURRENCY.md "Snapshots")
+// so the Table-4 comparison measures index structure, not lock shape —
+// mutations serialize behind the writer lock and commit as copy-on-write
+// version installs; queries take no lock, pinning the current version
+// instead, so a reader never waits on an in-flight writer.
 class PathIndex : public QueryableIndex {
  public:
   /// Creates an empty path index in `dir`. The caller's symbol table is
@@ -72,7 +99,8 @@ class PathIndex : public QueryableIndex {
 
   /// Indexes every root-to-node path of the sequence (a sequence element's
   /// prefix + symbol *is* its root-to-node path), and maintains every
-  /// registered refined path against it.
+  /// registered refined path against it. Commits atomically: on error
+  /// nothing is published and readers keep the previous version.
   Status InsertSequence(const Sequence& sequence, uint64_t doc_id);
 
   /// Removes a sequence previously inserted with this exact content under
@@ -88,12 +116,6 @@ class PathIndex : public QueryableIndex {
   Result<std::vector<uint64_t>> Query(std::string_view path,
                                       const QueryOptions& options = {}) override;
 
-  /// Deprecated pre-QueryOptions signature; forwards to the overload
-  /// above with options.profile = profile. Removed next PR.
-  [[deprecated("use Query(path, QueryOptions{.profile = ...})")]]
-  Result<std::vector<uint64_t>> Query(std::string_view path,
-                                      obs::QueryProfile* profile);
-
   /// Compiles a path expression into its root-to-leaf path patterns.
   /// Plans that met a name the (borrowed) symbol table does not know are
   /// not cacheable: another engine sharing the table may intern it later.
@@ -107,6 +129,9 @@ class PathIndex : public QueryableIndex {
   /// (InvalidArgument for any other plan).
   Result<std::vector<uint64_t>> QueryWithPlan(
       const QueryPlan& plan, const QueryOptions& options = {}) override;
+
+  /// Pins the current committed version as a PathSnapshot — lock-free.
+  Result<std::shared_ptr<const Snapshot>> GetSnapshot() override;
 
   /// Fills size_bytes, num_documents (sequences inserted), and max_depth;
   /// the ViST-specific fields stay zero.
@@ -134,47 +159,56 @@ class PathIndex : public QueryableIndex {
   }
 
  private:
-  PathIndex(const SymbolTable* symtab, PathIndexOptions options)
-      : symtab_(symtab), options_(options) {}
+  PathIndex(const SymbolTable* symtab, PathIndexOptions options);
 
-  /// Plan body: evaluates each leaf-path pattern and intersects (joins)
-  /// the doc-id sets. Join count goes to `*joins` (local to the query) so
-  /// concurrent queries don't scribble on one shared member. `checker`
-  /// (borrowed, possibly null) supplies the cooperative-cancellation
-  /// checkpoints for the scan loops.
+  /// Writer-side bodies, run inside an open write transaction.
+  Status InsertSequenceImpl(const Sequence& sequence, uint64_t doc_id)
+      VIST_REQUIRES(mu_);
+  Status DeleteSequenceImpl(const Sequence& sequence, uint64_t doc_id)
+      VIST_REQUIRES(mu_);
+
+  /// Pins the current version plus the refined list (never fails).
+  std::shared_ptr<const PathSnapshot> PinSnapshot() const;
+  /// options.snapshot when set (validated to be ours), else PinSnapshot().
+  Result<std::shared_ptr<const PathSnapshot>> ResolveSnapshot(
+      const QueryOptions& options) const;
+
+  /// Plan body: evaluates each leaf-path pattern against `snap` and
+  /// intersects (joins) the doc-id sets. Join count goes to `*joins`
+  /// (local to the query) so concurrent queries don't scribble on one
+  /// shared member. `checker` (borrowed, possibly null) supplies the
+  /// cooperative-cancellation checkpoints for the scan loops.
   Result<std::vector<uint64_t>> EvalLeafPatterns(
+      const PathSnapshot& snap,
       const std::vector<std::vector<Symbol>>& patterns, uint64_t* joins,
-      DeadlineChecker* checker) VIST_REQUIRES_SHARED(mu_);
+      DeadlineChecker* checker);
 
   /// Doc ids whose documents contain a path matching `pattern` (symbols
   /// with possible kStarSymbol / kDescendantSymbol).
   Result<std::vector<uint64_t>> EvalPathPattern(
-      const std::vector<Symbol>& pattern, DeadlineChecker* checker)
-      VIST_REQUIRES_SHARED(mu_);
+      const PathSnapshot& snap, const std::vector<Symbol>& pattern,
+      DeadlineChecker* checker);
 
   /// Scans one refined path's posting list.
-  Result<std::vector<uint64_t>> ReadRefinedPosting(uint32_t refined_id)
-      VIST_REQUIRES_SHARED(mu_);
+  Result<std::vector<uint64_t>> ReadRefinedPosting(const PathSnapshot& snap,
+                                                   uint32_t refined_id);
 
-  /// Readers/writer lock: Query shared, mutations exclusive (same shape as
-  /// VistIndex::mu_, above the storage-layer latches in the lock order).
+  /// Writer lock: serializes mutations against each other; queries never
+  /// touch it (they pin versions instead).
   mutable SharedMutex mu_{LockRank::kIndexWriter};
 
   const SymbolTable* symtab_;
   PathIndexOptions options_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  // Declared after pool_ (destroyed first): reclamation frees through it.
+  std::unique_ptr<VersionManager> versions_;
   std::unique_ptr<BTree> tree_;
-  uint64_t max_depth_ VIST_GUARDED_BY(mu_) = 0;
-  uint64_t num_documents_ VIST_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> last_query_joins_{0};
 
-  struct RefinedPath {
-    std::string pattern;             // the exact query string
-    query::CompiledQuery compiled;   // evaluated against every insert
-    uint32_t id = 0;                 // posting-key namespace
-  };
-  std::vector<RefinedPath> refined_ VIST_GUARDED_BY(mu_);
+  /// Copy-on-write refined-path list: writers replace the whole vector
+  /// under mu_; readers (and snapshots) grab the current one lock-free.
+  AtomicSharedPtr<const std::vector<RefinedPath>> refined_;
   std::atomic<uint64_t> refined_maintenance_checks_{0};
 };
 

@@ -46,7 +46,11 @@ inline constexpr uint32_t kLockRankFlagUnordered = 1;
     "exec::Router::mu_ — routing lock; serializes the mutation fan-out "     \
     "and the shared symbol table")                                           \
   X(kIndexWriter,     20, kLockRankFlagNone,                                 \
-    "engine reader/writer lock: VistIndex::mu_ and the baselines' mu_")      \
+    "engine writer lock: VistIndex::mu_ and the baselines' mu_ — "           \
+    "serializes mutators only; snapshot readers never take it")              \
+  X(kSymbolTable,     24, kLockRankFlagNone,                                 \
+    "seq::SymbolTable::mu_ — the append-only name table's internal "        \
+    "reader/writer lock; taken under an engine writer lock by Intern")       \
   X(kBufferPoolShard, 30, kLockRankFlagNone,                                 \
     "BufferPool::Shard::mu — one shard of the page table, its LRU list, "    \
     "and pin-count transitions")                                             \

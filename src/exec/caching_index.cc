@@ -28,6 +28,8 @@ struct CacheMetrics {
       obs::GetCounter("cache.result.invalidated_entries");
   obs::Counter& result_insert_races =
       obs::GetCounter("cache.result.insert_races");
+  obs::Counter& result_snapshot_bypass =
+      obs::GetCounter("cache.result.snapshot_bypass");
   obs::Gauge& result_bytes = obs::GetGauge("cache.result.bytes");
 
   static CacheMetrics& Get() {
@@ -288,6 +290,17 @@ template <typename Execute>
 Result<std::vector<uint64_t>> CachingIndex::ServeResult(
     const std::string& key, const QueryOptions& options, Execute&& execute) {
   CacheMetrics& metrics = CacheMetrics::Get();
+  if (options.snapshot != nullptr) {
+    // An explicit snapshot names a pinned (possibly old) version; the
+    // result tier only holds current-epoch answers, so neither a lookup
+    // nor an insert is sound. The plan tier inside `execute` still
+    // applies — plans depend on the symbol table, not the data.
+    metrics.result_snapshot_bypass.Increment();
+    if (options.profile != nullptr) {
+      options.profile->result_cache_hit = false;
+    }
+    return execute();
+  }
   // e1 is read before the query runs. The wrapped index bumps its epoch
   // while holding the writer lock, so e1 == e2 (below) proves no mutation
   // completed anywhere inside this window — the snapshot the query

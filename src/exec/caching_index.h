@@ -73,6 +73,15 @@ class CachingIndex : public QueryableIndex {
   Result<IndexStats> Stats() override;
   Status Flush() override;
 
+  /// Forwards to the wrapped index (the cache adds no versions of its
+  /// own). Queries carrying an explicit QueryOptions::snapshot bypass the
+  /// result tier — its entries are keyed to the CURRENT epoch, while a
+  /// pinned snapshot may be arbitrarily older — but still use (and fill)
+  /// the plan tier, which depends only on the append-only symbol table.
+  Result<std::shared_ptr<const Snapshot>> GetSnapshot() override {
+    return wrapped_->GetSnapshot();
+  }
+
   /// The cache adds no mutations of its own; its epoch is the wrapped
   /// index's.
   uint64_t epoch() const override { return wrapped_->epoch(); }

@@ -4,6 +4,11 @@ namespace vist {
 
 // Out-of-line destructors anchor the vtables in this translation unit.
 QueryPlan::~QueryPlan() = default;
+Snapshot::~Snapshot() = default;
 QueryableIndex::~QueryableIndex() = default;
+
+Result<std::shared_ptr<const Snapshot>> QueryableIndex::GetSnapshot() {
+  return Status::NotSupported("this index does not expose snapshots");
+}
 
 }  // namespace vist

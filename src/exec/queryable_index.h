@@ -12,12 +12,17 @@
 //   * `epoch()`                     — mutation counter for cache validity
 //
 // The epoch contract: every public mutating entry point bumps the epoch
-// exactly once *while still holding the engine's writer lock*. Two equal
-// epoch reads therefore bracket a mutation-free window, and any state read
-// under a reader lock inside that window belongs to the snapshot the epoch
-// names (the PR-3 snapshot contract: queries observe points between whole
-// writer operations). exec::CachingIndex builds its result-cache
-// invalidation rule on exactly this (docs/SERVING.md).
+// exactly once per writer section, at the *end* of the section — strictly
+// after the mutation's new version is installed (VersionManager::Commit)
+// or rolled back, and before the writer lock is released. Install-then-
+// bump means two equal epoch reads bracket a window in which the set of
+// published versions did not shrink to exclude what either read saw: any
+// snapshot pinned inside that window belongs to a version the epoch
+// names, which is exactly what exec::CachingIndex's result-cache
+// invalidation rule needs (docs/SERVING.md). (A query racing the gap
+// between install and bump may observe the new version under the old
+// epoch; the mutation has not returned yet, so serving its effects early
+// is linearizable, and the bump invalidates the cached entry.)
 //
 // Plans (`Prepare`) are engine-specific compiled forms of a path
 // expression. A plan marked `cacheable()` depends only on symbols that
@@ -42,6 +47,30 @@
 
 namespace vist {
 
+/// A pinned, immutable read view of one index: every query evaluated
+/// against it sees the same committed state, no matter how many writer
+/// transactions commit in the meantime — and holding one never blocks a
+/// writer (copy-on-write storage; docs/CONCURRENCY.md "Snapshots").
+/// Obtained from QueryableIndex::GetSnapshot(); the shared_ptr is the RAII
+/// pin: retired pages the snapshot can still reach return to the freelist
+/// only after the last owner releases it. Snapshots must not outlive the
+/// index that issued them.
+class Snapshot {
+ public:
+  virtual ~Snapshot();
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// The engine epoch this snapshot's version installed. Monotone across
+  /// snapshots of one index; two snapshots with equal epochs read
+  /// identical state.
+  virtual uint64_t epoch() const = 0;
+
+ protected:
+  Snapshot() = default;
+};
+
 /// Per-query options, shared by every engine.
 struct QueryOptions {
   /// Filter out the false positives of sequence matching by checking a
@@ -55,6 +84,13 @@ struct QueryOptions {
   /// extents, candidate vs. verified result counts, and wall time. The
   /// caller owns it; fields accumulate, so reuse across queries sums.
   obs::QueryProfile* profile = nullptr;
+  /// Evaluate against this pinned snapshot instead of the current state —
+  /// repeatable reads across any number of queries. Borrowed: the caller
+  /// must keep the owning shared_ptr from GetSnapshot() alive for the
+  /// call, and the snapshot must come from the same engine the query is
+  /// sent to (engines reject foreign snapshots with InvalidArgument).
+  /// Null (default): each query pins the current version by itself.
+  const Snapshot* snapshot = nullptr;
   /// Cooperative cancellation: engines checkpoint their scan loops against
   /// this deadline and return DeadlineExceeded within a bounded number of
   /// additional index-node visits once it passes (common/deadline.h).
@@ -130,6 +166,12 @@ class QueryableIndex {
   virtual Result<std::vector<uint64_t>> QueryWithPlan(
       const QueryPlan& plan, const QueryOptions& options = {}) = 0;
 
+  /// Pins the current committed state as a reusable read view (see
+  /// Snapshot). Lock-free on the concrete engines: never waits on an
+  /// in-flight writer. The base implementation returns NotSupported for
+  /// wrappers/fakes that have no versioned storage to pin.
+  virtual Result<std::shared_ptr<const Snapshot>> GetSnapshot();
+
   virtual Result<IndexStats> Stats() = 0;
 
   /// Makes all prior mutations durable (and, on engines with a journal,
@@ -144,8 +186,9 @@ class QueryableIndex {
   }
 
  protected:
-  /// Concrete engines call this exactly once per mutating entry point,
-  /// while still holding their writer lock.
+  /// Concrete engines call this exactly once per mutating entry point, at
+  /// the end of the writer section (after commit or rollback), while
+  /// still holding their writer lock.
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:

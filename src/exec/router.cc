@@ -99,6 +99,26 @@ void MergeProfile(const obs::QueryProfile& from, obs::QueryProfile* to) {
   to->wall_ms += from.wall_ms;
 }
 
+// Adjusts the name-frequency statistics for one document entering
+// (insert=true) or leaving the corpus. The router applies this to a
+// private copy and publishes the copy (copy-on-write), so queries read
+// stats without a lock.
+void FoldNameStats(const xml::Node& node, bool insert, NameStats* stats) {
+  if (!node.is_text()) {
+    uint64_t& freq = stats->frequency[node.name()];
+    if (insert) {
+      ++freq;
+      ++stats->total_elements;
+    } else {
+      if (freq > 0) --freq;
+      if (stats->total_elements > 0) --stats->total_elements;
+    }
+  }
+  for (const auto& child : node.children()) {
+    FoldNameStats(*child, insert, stats);
+  }
+}
+
 // Compiled form of a routed query: the extracted features plus each
 // engine's own plan (null where that engine's Prepare failed). The
 // routing decision is deliberately NOT part of the plan — QueryWithPlan
@@ -154,6 +174,13 @@ Router::Router(VistIndex* vist, PathIndex* paths, NodeIndex* nodes,
                const RouterOptions& options)
     : vist_(vist), paths_(paths), nodes_(nodes), options_(options) {
   VIST_CHECK(vist != nullptr && paths != nullptr && nodes != nullptr);
+  name_stats_.Store(std::make_shared<const NameStats>());
+  // Publish the initial composite snapshot so queries racing construction
+  // still find a consistent (possibly pre-loaded) corpus to pin.
+  // vist-lint: no-epoch-bump(publishes the initial snapshot; nothing mutated)
+  WriterLock lock(mu_);
+  Status s = RebuildSnapshot(epoch());
+  VIST_CHECK(s.ok());  // engine GetSnapshot is a lock-free pin; never fails
 }
 
 QueryableIndex* Router::EngineFor(Engine engine) const {
@@ -171,45 +198,80 @@ QueryableIndex* Router::EngineFor(Engine engine) const {
 
 Status Router::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
-  // Bump first, then fan out: a reader that saw the old epoch value
-  // finished before any engine received this document, so two equal epoch
-  // reads never bracket a partial fan-out (exec/queryable_index.h).
+  Status s = vist_->InsertDocument(root, doc_id);
+  if (s.ok()) {
+    const Sequence sequence =
+        BuildSequence(root, vist_->symbols(), vist_->options().sequence);
+    s = paths_->InsertSequence(sequence, doc_id);
+  }
+  if (s.ok()) s = nodes_->InsertDocument(root, doc_id);
+  if (s.ok()) {
+    auto stats = std::make_shared<NameStats>(
+        *name_stats_.Load());
+    FoldNameStats(root, /*insert=*/true, stats.get());
+    name_stats_.Store(std::move(stats));
+    s = RebuildSnapshot(epoch() + 1);
+  }
+  // On failure the engines are divergent (header comment: fatal for this
+  // instance) and the snapshot deliberately stays on the last consistent
+  // state; the bump still happens so epoch-keyed caches drop their
+  // results either way.
   BumpEpoch();
-  VIST_RETURN_IF_ERROR(vist_->InsertDocument(root, doc_id));
-  const Sequence sequence =
-      BuildSequence(root, vist_->symbols(), vist_->options().sequence);
-  VIST_RETURN_IF_ERROR(paths_->InsertSequence(sequence, doc_id));
-  VIST_RETURN_IF_ERROR(nodes_->InsertDocument(root, doc_id));
-  UpdateNameStats(root, /*insert=*/true);
-  return Status::OK();
+  return s;
 }
 
 Status Router::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
+  Status s = vist_->DeleteDocument(root, doc_id);
+  if (s.ok()) {
+    const Sequence sequence =
+        BuildSequence(root, vist_->symbols(), vist_->options().sequence);
+    s = paths_->DeleteSequence(sequence, doc_id);
+  }
+  if (s.ok()) s = nodes_->DeleteDocument(root, doc_id);
+  if (s.ok()) {
+    auto stats = std::make_shared<NameStats>(
+        *name_stats_.Load());
+    FoldNameStats(root, /*insert=*/false, stats.get());
+    name_stats_.Store(std::move(stats));
+    s = RebuildSnapshot(epoch() + 1);
+  }
   BumpEpoch();
-  VIST_RETURN_IF_ERROR(vist_->DeleteDocument(root, doc_id));
-  const Sequence sequence =
-      BuildSequence(root, vist_->symbols(), vist_->options().sequence);
-  VIST_RETURN_IF_ERROR(paths_->DeleteSequence(sequence, doc_id));
-  VIST_RETURN_IF_ERROR(nodes_->DeleteDocument(root, doc_id));
-  UpdateNameStats(root, /*insert=*/false);
+  return s;
+}
+
+Status Router::RebuildSnapshot(uint64_t new_epoch) {
+  auto snap = std::shared_ptr<RouterSnapshot>(new RouterSnapshot());
+  snap->owner_ = this;
+  snap->epoch_ = new_epoch;
+  for (size_t i = 0; i < kNumEngines; ++i) {
+    VIST_ASSIGN_OR_RETURN(snap->engines_[i],
+                          EngineFor(static_cast<Engine>(i))->GetSnapshot());
+  }
+  snap->name_stats_ = name_stats_.Load();
+  snapshot_.Store(std::move(snap));
   return Status::OK();
 }
 
-void Router::UpdateNameStats(const xml::Node& node, bool insert) {
-  if (!node.is_text()) {
-    uint64_t& freq = name_stats_.frequency[node.name()];
-    if (insert) {
-      ++freq;
-      ++name_stats_.total_elements;
-    } else {
-      if (freq > 0) --freq;
-      if (name_stats_.total_elements > 0) --name_stats_.total_elements;
-    }
+Result<std::shared_ptr<const RouterSnapshot>> Router::ResolveSnapshot(
+    const QueryOptions& options) const {
+  if (options.snapshot == nullptr) {
+    return snapshot_.Load();
   }
-  for (const auto& child : node.children()) {
-    UpdateNameStats(*child, insert);
+  const auto* snap = dynamic_cast<const RouterSnapshot*>(options.snapshot);
+  if (snap == nullptr || snap->owner_ != this) {
+    return Status::InvalidArgument(
+        "QueryOptions::snapshot was not taken from this router");
   }
+  // Borrowed for the duration of the call (the QueryOptions contract):
+  // alias it without owning it.
+  return std::shared_ptr<const RouterSnapshot>(
+      std::shared_ptr<const RouterSnapshot>(), snap);
+}
+
+Result<std::shared_ptr<const Snapshot>> Router::GetSnapshot() {
+  return std::shared_ptr<const Snapshot>(
+      snapshot_.Load());
 }
 
 Result<std::vector<uint64_t>> Router::Query(std::string_view path,
@@ -229,9 +291,9 @@ Result<std::shared_ptr<const QueryPlan>> Router::Prepare(
     obs::ScopedTimer timer(extract_us);
     VIST_ASSIGN_OR_RETURN(features, ExtractPlanFeatures(path));
   }
-  // The reader lock covers every engine's Prepare: compilation reads the
-  // shared symbol table, which the mutation fan-out grows.
-  ReaderLock lock(mu_);
+  // No router lock: compilation reads only the shared symbol table, which
+  // is internally synchronized (and append-only, so a plan compiled while
+  // the fan-out interns new names is still correct).
   std::array<std::shared_ptr<const QueryPlan>, kNumEngines> inner;
   Status error = Status::OK();
   bool cacheable = true;
@@ -267,13 +329,16 @@ Result<std::vector<uint64_t>> Router::QueryWithPlan(
   static obs::Counter& picks_path = obs::GetCounter("router.picks.path");
   static obs::Counter& picks_node = obs::GetCounter("router.picks.node");
   static obs::Counter& failovers = obs::GetCounter("router.failovers");
-  // Reader lock across engine execution: together with the writer-locked
-  // mutation fan-out this guarantees the query sees either all or none of
-  // any document, which is what makes the router's epoch meaningful to
-  // exec::CachingIndex.
-  ReaderLock lock(mu_);
+  // No lock: the query pins the published composite snapshot and hands
+  // each engine its own member snapshot, so every attempt (failovers
+  // included) sees either all or none of any document — which is what
+  // makes the router's epoch meaningful to exec::CachingIndex — and a
+  // reader never waits on an in-flight fan-out.
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const RouterSnapshot> snap,
+                        ResolveSnapshot(options));
   const PlanFeatures& features = router_plan->features();
-  const double selectivity = EstimateSelectivity(features, name_stats_);
+  const double selectivity =
+      EstimateSelectivity(features, *snap->name_stats_);
   const uint32_t bucket_key = BucketKey(features, selectivity);
 
   unsigned candidates = 0;
@@ -315,6 +380,8 @@ Result<std::vector<uint64_t>> Router::QueryWithPlan(
     obs::QueryProfile local;
     QueryOptions engine_options = options;
     engine_options.profile = &local;
+    engine_options.snapshot =
+        snap->engines_[static_cast<size_t>(pick)].get();
     auto result = EngineFor(pick)->QueryWithPlan(
         *router_plan->inner(static_cast<size_t>(pick)), engine_options);
     if (result.ok()) {
@@ -422,7 +489,9 @@ void Router::RecordObservation(uint32_t bucket_key, Engine engine,
 }
 
 Result<IndexStats> Router::Stats() {
-  ReaderLock lock(mu_);
+  // Lock-free: each engine pins its own current version internally, so a
+  // concurrent fan-out may land between the three reads. Fine for
+  // diagnostics (router.h).
   VIST_ASSIGN_OR_RETURN(IndexStats stats, vist_->Stats());
   VIST_ASSIGN_OR_RETURN(IndexStats path_stats, paths_->Stats());
   VIST_ASSIGN_OR_RETURN(IndexStats node_stats, nodes_->Stats());
@@ -434,10 +503,14 @@ Result<IndexStats> Router::Stats() {
 
 Status Router::Flush() {
   WriterLock lock(mu_);
+  Status s = vist_->Flush();
+  if (s.ok()) s = paths_->Flush();
+  if (s.ok()) s = nodes_->Flush();
+  // Re-pin so the published snapshot stops holding pre-flush versions
+  // alive (pinned versions keep their superseded pages off the freelist).
+  if (s.ok()) s = RebuildSnapshot(epoch() + 1);
   BumpEpoch();
-  VIST_RETURN_IF_ERROR(vist_->Flush());
-  VIST_RETURN_IF_ERROR(paths_->Flush());
-  return nodes_->Flush();
+  return s;
 }
 
 }  // namespace exec

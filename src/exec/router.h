@@ -26,20 +26,24 @@
 //
 // Composition contract (the reason the router is itself a
 // QueryableIndex): mutations fan out to all three engines under the
-// router's writer lock with a single BumpEpoch() up front, and queries
-// run the picked engine under the router's reader lock. Two equal
-// router-epoch reads therefore bracket a window in which no engine
-// received a partial fan-out, which is exactly the invariant
-// exec::CachingIndex's e1/e2 protocol needs — the cache wraps the router
-// unchanged. The router's lock also serializes cross-engine access to the
-// shared symbol table (ViST's, borrowed by both baselines), which is not
-// internally synchronized.
+// router's writer lock and finish by pinning every engine's freshly
+// committed version into one composite RouterSnapshot, published
+// atomically just before the epoch bump. Queries take no router lock at
+// all: they load the published snapshot and hand each engine its own
+// pinned member snapshot, so a query — failover attempts included —
+// reads one consistent cross-engine corpus even while a fan-out is
+// mid-flight, and never waits on a writer. Two equal router-epoch reads
+// still bracket a window in which the published snapshot did not change,
+// which is exactly the invariant exec::CachingIndex's e1/e2 protocol
+// needs — the cache wraps the router unchanged. The shared symbol table
+// is internally synchronized (seq/symbol_table.h), so plan compilation
+// needs no router lock either.
 //
-// Lock order: router mu_ → engine SharedMutex → storage latches. The
-// feedback state lives under its own leaf mutex, never held across an
-// engine call. Deadlines propagate untouched into whichever engine runs
-// (QueryOptions::deadline), and verified queries always go to ViST — the
-// only engine with a document store.
+// Lock order: router mu_ (mutators only) → engine SharedMutex → storage
+// latches. The feedback state lives under its own leaf mutex, never held
+// across an engine call. Deadlines propagate untouched into whichever
+// engine runs (QueryOptions::deadline), and verified queries always go to
+// ViST — the only engine with a document store.
 
 #ifndef VIST_EXEC_ROUTER_H_
 #define VIST_EXEC_ROUTER_H_
@@ -55,6 +59,7 @@
 
 #include "baseline/node_index.h"
 #include "baseline/path_index.h"
+#include "common/atomic_shared_ptr.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -79,12 +84,15 @@ struct RouterOptions {
   uint64_t min_observations = 3;
 };
 
+class RouterSnapshot;
+
 /// Routes queries across the three engines. All engines are borrowed,
 /// must outlive the router, and must share the ViST index's symbol table
 /// (construct the baselines with `vist->symbols()`). From the moment the
 /// router is constructed, every mutation and query against the engines
-/// must go through it — direct engine access would bypass the router's
-/// lock (see the header comment) and its corpus statistics.
+/// must go through it — a direct engine mutation would bypass the
+/// composite snapshot (see the header comment) and the router's corpus
+/// statistics.
 class Router : public QueryableIndex {
  public:
   enum class Engine { kVist = 0, kPath = 1, kNode = 2 };
@@ -125,8 +133,15 @@ class Router : public QueryableIndex {
   Result<std::vector<uint64_t>> QueryWithPlan(
       const QueryPlan& plan, const QueryOptions& options = {}) override;
 
+  /// Loads the published composite snapshot — lock-free, never fails. The
+  /// snapshot brackets all three engines at the end of one fan-out, so
+  /// queries pinned to it are cross-engine consistent.
+  Result<std::shared_ptr<const Snapshot>> GetSnapshot() override;
+
   /// Aggregates: size_bytes sums all engines; the document/depth/entry
-  /// fields come from ViST (the primary engine).
+  /// fields come from ViST (the primary engine). Each engine reports from
+  /// its own current version (no router lock), so a concurrent fan-out may
+  /// land between the three reads — acceptable for diagnostics.
   Result<IndexStats> Stats() override;
 
   /// Flushes all three engines.
@@ -160,10 +175,18 @@ class Router : public QueryableIndex {
   /// counting a mispick correction when the observed argmin changes.
   void RecordObservation(uint32_t bucket_key, Engine engine, double cost);
 
-  /// Adjusts the name-frequency statistics for one document entering
-  /// (insert=true) or leaving the corpus.
-  void UpdateNameStats(const xml::Node& node, bool insert)
-      VIST_REQUIRES(mu_);
+  /// Pins every engine's current version plus the current name stats into
+  /// a fresh composite snapshot stamped `new_epoch` and publishes it.
+  /// Called at the end of a successful fan-out, before the epoch bump; a
+  /// FAILED fan-out skips it, so the published snapshot stays on the last
+  /// cross-engine-consistent state (the header's divergence-is-fatal
+  /// contract).
+  Status RebuildSnapshot(uint64_t new_epoch) VIST_REQUIRES(mu_);
+
+  /// options.snapshot when set (validated to be ours), else the published
+  /// composite snapshot.
+  Result<std::shared_ptr<const RouterSnapshot>> ResolveSnapshot(
+      const QueryOptions& options) const;
 
   QueryableIndex* EngineFor(Engine engine) const;
 
@@ -172,13 +195,17 @@ class Router : public QueryableIndex {
   NodeIndex* const nodes_;
   const RouterOptions options_;
 
-  /// Router lock: queries shared, mutation fan-out exclusive. Top of the
-  /// lock order, above every engine lock.
+  /// Router lock: serializes the mutation fan-out; queries never touch it
+  /// (they pin the published composite snapshot instead).
   mutable SharedMutex mu_{LockRank::kRouter};
 
-  /// Corpus name statistics feeding selectivity estimates; maintained by
-  /// the mutation fan-out.
-  NameStats name_stats_ VIST_GUARDED_BY(mu_);
+  /// Copy-on-write corpus name statistics feeding selectivity estimates:
+  /// the fan-out replaces the whole object under mu_; queries (and
+  /// snapshots) grab the current one lock-free.
+  AtomicSharedPtr<const NameStats> name_stats_;
+
+  /// The published composite snapshot (see RebuildSnapshot).
+  AtomicSharedPtr<const RouterSnapshot> snapshot_;
 
   /// Learned feedback, bucketed by quantized plan features. Leaf lock:
   /// taken briefly while mu_ is held shared, never across an engine call.
@@ -186,6 +213,24 @@ class Router : public QueryableIndex {
   std::unordered_map<uint32_t, Bucket> feedback_ VIST_GUARDED_BY(feedback_mu_);
 
   std::atomic<int> last_pick_{0};
+};
+
+/// The router's pinned read view: one member snapshot per engine, all
+/// taken at the end of the same fan-out, plus the name statistics that
+/// were current then. Queries resolved against it dispatch each engine
+/// its own member, so every attempt reads the same corpus.
+class RouterSnapshot : public Snapshot {
+ public:
+  uint64_t epoch() const override { return epoch_; }
+
+ private:
+  friend class Router;
+  RouterSnapshot() = default;
+
+  const Router* owner_ = nullptr;
+  uint64_t epoch_ = 0;
+  std::array<std::shared_ptr<const Snapshot>, Router::kNumEngines> engines_;
+  std::shared_ptr<const NameStats> name_stats_;
 };
 
 }  // namespace exec

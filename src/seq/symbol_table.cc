@@ -12,6 +12,7 @@
 namespace vist {
 
 Symbol SymbolTable::Intern(std::string_view name) {
+  WriterLock lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) return it->second;
   names_.emplace_back(name);
@@ -21,6 +22,7 @@ Symbol SymbolTable::Intern(std::string_view name) {
 }
 
 Result<Symbol> SymbolTable::Lookup(std::string_view name) const {
+  ReaderLock lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {
     return Status::NotFound("unknown name '" + std::string(name) + "'");
@@ -29,6 +31,7 @@ Result<Symbol> SymbolTable::Lookup(std::string_view name) const {
 }
 
 Result<std::string> SymbolTable::Name(Symbol symbol) const {
+  ReaderLock lock(mu_);
   if (!IsNameSymbol(symbol) || symbol > names_.size()) {
     return Status::InvalidArgument("not an interned name symbol");
   }
@@ -39,11 +42,20 @@ Symbol SymbolTable::ValueSymbol(const Slice& value) {
   return Hash64(value) | kValueSymbolBit;
 }
 
+size_t SymbolTable::size() const {
+  ReaderLock lock(mu_);
+  return names_.size();
+}
+
 Status SymbolTable::Save(const std::string& path) const {
   std::string blob;
-  PutVarint64(&blob, names_.size());
-  for (const std::string& name : names_) {
-    PutLengthPrefixedSlice(&blob, name);
+  {
+    // Serialize under the lock, do the file I/O outside it.
+    ReaderLock lock(mu_);
+    PutVarint64(&blob, names_.size());
+    for (const std::string& name : names_) {
+      PutLengthPrefixedSlice(&blob, name);
+    }
   }
   // Write-to-temp + fsync + rename: a crash mid-save leaves the previous
   // table intact instead of a truncated blob.

@@ -21,9 +21,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace vist {
 
@@ -45,12 +48,30 @@ inline bool IsNameSymbol(Symbol s) {
 
 /// Interns element/attribute names to dense symbols (starting at 1) and
 /// back. Persisted next to the index so symbols are stable across sessions.
+///
+/// Internally synchronized (rank kSymbolTable): Intern takes the lock
+/// exclusively, everything else shared, so lock-free snapshot readers may
+/// resolve names concurrently with a writer interning new ones. The table
+/// is append-only, which is what makes it snapshot-safe without being
+/// versioned itself: a reader holding an old tree version that races a
+/// brand-new name at worst resolves a symbol its tree cannot contain,
+/// yielding an empty posting — never a false positive.
 class SymbolTable {
  public:
   SymbolTable() = default;
 
-  SymbolTable(SymbolTable&&) = default;
-  SymbolTable& operator=(SymbolTable&&) = default;
+  // Moves require external exclusivity (only used while constructing an
+  // index, before the table is shared), which the analysis cannot see;
+  // locking the source here would be theater.
+  SymbolTable(SymbolTable&& other) VIST_NO_THREAD_SAFETY_ANALYSIS {
+    names_ = std::move(other.names_);
+    by_name_ = std::move(other.by_name_);
+  }
+  SymbolTable& operator=(SymbolTable&& other) VIST_NO_THREAD_SAFETY_ANALYSIS {
+    names_ = std::move(other.names_);
+    by_name_ = std::move(other.by_name_);
+    return *this;
+  }
 
   /// Returns the symbol for `name`, creating it on first sight.
   Symbol Intern(std::string_view name);
@@ -66,15 +87,16 @@ class SymbolTable {
   static Symbol ValueSymbol(const Slice& value);
 
   /// Number of interned names.
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
   /// Persistence: a flat file of length-prefixed names in id order.
   Status Save(const std::string& path) const;
   static Result<SymbolTable> Load(const std::string& path);
 
  private:
-  std::vector<std::string> names_;  // names_[i] has symbol i+1
-  std::unordered_map<std::string, Symbol> by_name_;
+  mutable SharedMutex mu_{LockRank::kSymbolTable};
+  std::vector<std::string> names_ VIST_GUARDED_BY(mu_);  // [i] has symbol i+1
+  std::unordered_map<std::string, Symbol> by_name_ VIST_GUARDED_BY(mu_);
 };
 
 }  // namespace vist

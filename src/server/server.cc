@@ -408,6 +408,10 @@ Response VistServer::HandleRequest(const Request& request,
       // Only queries are cancelled: a mutation abandoned halfway would
       // leave more mess than finishing it costs.
       query_options.deadline = deadline;
+      // No explicit snapshot: the engine pins its current version
+      // internally (lock-free — a concurrent INSERT cannot stall this),
+      // and leaving QueryOptions::snapshot unset keeps the request
+      // eligible for exec::CachingIndex's result tier.
       auto ids = index_->Query(request.path, query_options);
       if (ids.ok()) {
         resp.doc_ids = std::move(ids).value();

@@ -34,6 +34,13 @@
 // (docs/CONCURRENCY.md): no server lock is ever held across a call into
 // the index.
 //
+// Read-path latency: a QUERY never waits on a writer. The engine pins a
+// copy-on-write snapshot instead of taking a reader lock
+// (docs/CONCURRENCY.md "Snapshots"), so a multi-hundred-millisecond bulk
+// INSERT executing on one worker no longer stalls the QUERY latency of
+// the others — bench_mixed_workload's writer_stall cell measures exactly
+// this.
+//
 // QueryableIndex carries no mutation entry points (engines differ in how
 // documents enter), so writes go through the narrow DocumentWriter
 // interface below; pass nullptr to serve a read-only index.

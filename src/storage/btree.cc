@@ -1,5 +1,6 @@
 #include "storage/btree.h"
 
+#include <cstring>
 #include <vector>
 
 #include "common/logging.h"
@@ -21,6 +22,8 @@ struct BTreeMetrics {
   obs::Counter& deletes = obs::GetCounter("storage.btree.deletes");
   obs::Counter& splits = obs::GetCounter("storage.btree.splits");
   obs::Counter& leaf_merges = obs::GetCounter("storage.btree.leaf_merges");
+  obs::Counter& pages_shadowed =
+      obs::GetCounter("storage.btree.pages_shadowed");
 
   static BTreeMetrics& Get() {
     static BTreeMetrics metrics;
@@ -55,28 +58,58 @@ PageId RouteToChild(const NodePage& np, const Slice& key, int* child_index) {
 }  // namespace
 
 Result<std::unique_ptr<BTree>> BTree::Create(Pager* pager, BufferPool* pool,
+                                             VersionManager* versions,
                                              int meta_slot) {
+  VIST_CHECK(versions->in_write_transaction())
+      << "BTree::Create outside a write transaction";
   VIST_ASSIGN_OR_RETURN(PageRef root, pool->New());
   NodePage np(root.data(), pager->usable_page_size());
   np.Init(kLeafPage);
   root.MarkDirty();
-  VIST_RETURN_IF_ERROR(pager->SetMetaSlot(meta_slot, root.id()));
-  return std::unique_ptr<BTree>(new BTree(pager, pool, meta_slot, root.id()));
+  versions->MarkFresh(root.id());
+  versions->SetWorkingSlot(meta_slot, root.id());
+  return std::unique_ptr<BTree>(new BTree(pager, pool, versions, meta_slot));
 }
 
 Result<std::unique_ptr<BTree>> BTree::Open(Pager* pager, BufferPool* pool,
+                                           VersionManager* versions,
                                            int meta_slot) {
-  PageId root = pager->GetMetaSlot(meta_slot);
-  if (root == kInvalidPageId) {
+  if (versions->WorkingSlot(meta_slot) == kInvalidPageId) {
     return Status::NotFound("no B+ tree recorded in meta slot");
   }
-  return std::unique_ptr<BTree>(new BTree(pager, pool, meta_slot, root));
+  return std::unique_ptr<BTree>(new BTree(pager, pool, versions, meta_slot));
 }
 
-Result<PageId> BTree::FindLeaf(const Slice& key,
-                               std::vector<PathEntry>* path) {
+BTreeView BTree::ViewAt(const Version& version) const {
+  return BTreeView(this, static_cast<PageId>(version.slots[meta_slot_]));
+}
+
+Result<PageId> BTree::ShadowPage(PageId id) {
+  if (versions_->IsFresh(id)) return id;  // already ours to mutate
+  BTreeMetrics::Get().pages_shadowed.Increment();
+  CountNodeAccess();
+  VIST_ASSIGN_OR_RETURN(PageRef src, pool_->Fetch(id));
+  if (src.NeedsValidation()) {
+    NodePage np(src.data(), pager_->usable_page_size());
+    if (!np.Validate()) {
+      return Status::Corruption("damaged B+ tree page " + std::to_string(id));
+    }
+    src.MarkValidated();
+  }
+  VIST_ASSIGN_OR_RETURN(PageRef dst, pool_->New());
+  std::memcpy(dst.data(), src.data(), pager_->usable_page_size());
+  dst.MarkDirty();
+  if (dst.NeedsValidation()) dst.MarkValidated();
+  versions_->MarkFresh(dst.id());
+  // The published original leaves this tree version; readers pinning
+  // older versions keep it alive until reclamation.
+  VIST_RETURN_IF_ERROR(versions_->Retire(id));
+  return dst.id();
+}
+
+Result<PageId> BTree::FindLeafAt(PageId root, const Slice& key) const {
   BTreeMetrics::Get().seeks.Increment();
-  PageId current = root_;
+  PageId current = root;
   while (true) {
     CountNodeAccess();
     VIST_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
@@ -91,9 +124,45 @@ Result<PageId> BTree::FindLeaf(const Slice& key,
     if (np.is_leaf()) return current;
     int child_index = 0;
     PageId child = RouteToChild(np, key, &child_index);
-    if (path != nullptr) path->push_back({current, child_index});
     VIST_CHECK(child != kInvalidPageId) << "internal node with no child";
     current = child;
+  }
+}
+
+Result<PageId> BTree::FindLeafForWrite(const Slice& key,
+                                       std::vector<PathEntry>* path) {
+  VIST_DCHECK(versions_->in_write_transaction());
+  BTreeMetrics::Get().seeks.Increment();
+  VIST_ASSIGN_OR_RETURN(PageId current, ShadowPage(root()));
+  if (current != root()) SetRoot(current);
+  while (true) {
+    CountNodeAccess();
+    VIST_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
+    NodePage np(ref.data(), pager_->usable_page_size());
+    if (ref.NeedsValidation()) {
+      if (!np.Validate()) {
+        return Status::Corruption("damaged B+ tree page " +
+                                  std::to_string(current));
+      }
+      ref.MarkValidated();
+    }
+    if (np.is_leaf()) return current;
+    int child_index = 0;
+    PageId child = RouteToChild(np, key, &child_index);
+    VIST_CHECK(child != kInvalidPageId) << "internal node with no child";
+    // Shadow the child before descending and re-point this (fresh) node
+    // at the copy, so the whole descent path is mutable in place.
+    VIST_ASSIGN_OR_RETURN(PageId shadow, ShadowPage(child));
+    if (shadow != child) {
+      if (child_index == -1) {
+        np.set_next(shadow);
+      } else {
+        np.SetChild(child_index, shadow);
+      }
+      ref.MarkDirty();
+    }
+    if (path != nullptr) path->push_back({current, child_index});
+    current = shadow;
   }
 }
 
@@ -104,7 +173,7 @@ Status BTree::Put(const Slice& key, const Slice& value) {
   }
   BTreeMetrics::Get().puts.Increment();
   std::vector<PathEntry> path;
-  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeafForWrite(key, &path));
   CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->usable_page_size());
@@ -194,9 +263,8 @@ Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
   VIST_CHECK(mid >= 1) << "split of a node with too few cells";
 
   VIST_ASSIGN_OR_RETURN(PageRef right, pool_->New());
+  versions_->MarkFresh(right.id());
   NodePage rp(right.data(), pager_->usable_page_size());
-  const PageId old_next = lp.next();
-  const PageId old_prev = lp.prev();
 
   std::string separator;
   if (leaf) {
@@ -210,17 +278,9 @@ Status BTree::SplitAndInsert(PageId page_id, int pos, const Slice& key,
                                cells[i].payload));
     }
     separator = cells[mid].key;
-    // Maintain the doubly linked leaf chain.
-    lp.set_prev(old_prev);
-    lp.set_next(right.id());
-    rp.set_prev(left.id());
-    rp.set_next(old_next);
-    if (old_next != kInvalidPageId) {
-      VIST_ASSIGN_OR_RETURN(PageRef nref, pool_->Fetch(old_next));
-      NodePage nnp(nref.data(), pager_->usable_page_size());
-      nnp.set_prev(right.id());
-      nref.MarkDirty();
-    }
+    // No sibling links: iterators re-descend through their pinned
+    // parents, so leaves need no chain maintenance (which copy-on-write
+    // could not afford anyway — linking would dirty published neighbors).
   } else {
     const PageId old_leftmost = lp.next();
     lp.Init(kInternalPage);
@@ -252,12 +312,14 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
   if (path->empty()) {
     // The root split: grow the tree by one level.
     VIST_ASSIGN_OR_RETURN(PageRef root, pool_->New());
+    versions_->MarkFresh(root.id());
     NodePage np(root.data(), pager_->usable_page_size());
     np.Init(kInternalPage);
     np.set_next(left_id);
     VIST_CHECK(np.InsertInternal(0, sep, right_id));
     root.MarkDirty();
-    return SetRoot(root.id());
+    SetRoot(root.id());
+    return Status::OK();
   }
   PathEntry entry = path->back();
   path->pop_back();
@@ -272,9 +334,9 @@ Status BTree::InsertIntoParent(PageId left_id, const Slice& sep,
   return SplitAndInsert(entry.page, pos, sep, Slice(), right_id, path);
 }
 
-Result<std::string> BTree::Get(const Slice& key) {
+Result<std::string> BTree::GetAt(PageId root, const Slice& key) const {
   BTreeMetrics::Get().gets.Increment();
-  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeafAt(root, key));
   CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->usable_page_size());
@@ -285,10 +347,12 @@ Result<std::string> BTree::Get(const Slice& key) {
   return Status::NotFound("key not in tree");
 }
 
+Result<std::string> BTree::Get(const Slice& key) { return GetAt(root(), key); }
+
 Status BTree::Delete(const Slice& key) {
   BTreeMetrics::Get().deletes.Increment();
   std::vector<PathEntry> path;
-  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  VIST_ASSIGN_OR_RETURN(PageId leaf_id, FindLeafForWrite(key, &path));
   CountNodeAccess();
   VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
   NodePage np(leaf.data(), pager_->usable_page_size());
@@ -298,7 +362,7 @@ Status BTree::Delete(const Slice& key) {
   }
   np.Remove(pos);
   leaf.MarkDirty();
-  if (np.num_cells() == 0 && leaf_id != root_) {
+  if (np.num_cells() == 0 && leaf_id != root()) {
     leaf.Release();
     return RemoveEmptyLeaf(leaf_id, &path);
   }
@@ -307,26 +371,9 @@ Status BTree::Delete(const Slice& key) {
 
 Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
   BTreeMetrics::Get().leaf_merges.Increment();
-  // Unlink from the sibling chain.
-  {
-    VIST_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
-    NodePage np(leaf.data(), pager_->usable_page_size());
-    const PageId prev_id = np.prev();
-    const PageId next_id = np.next();
-    if (prev_id != kInvalidPageId) {
-      VIST_ASSIGN_OR_RETURN(PageRef prev, pool_->Fetch(prev_id));
-      NodePage pp(prev.data(), pager_->usable_page_size());
-      pp.set_next(next_id);
-      prev.MarkDirty();
-    }
-    if (next_id != kInvalidPageId) {
-      VIST_ASSIGN_OR_RETURN(PageRef next, pool_->Fetch(next_id));
-      NodePage nn(next.data(), pager_->usable_page_size());
-      nn.set_prev(prev_id);
-      next.MarkDirty();
-    }
-  }
-  VIST_RETURN_IF_ERROR(pool_->Free(leaf_id));
+  // The leaf was shadowed on the way down, so it is fresh and retiring it
+  // frees it immediately; no sibling chain exists to unlink.
+  VIST_RETURN_IF_ERROR(versions_->Retire(leaf_id));
 
   // Remove the reference from ancestors, collapsing internals that are left
   // with a single (leftmost) child.
@@ -348,13 +395,15 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
     parent.MarkDirty();
     if (np.num_cells() > 0) return Status::OK();
 
-    // Only the leftmost child remains: collapse this internal node.
+    // Only the leftmost child remains: collapse this internal node. The
+    // sole child may still be a published page — fine, the working root
+    // may point anywhere; future writes will shadow it.
     const PageId sole_child = np.next();
     parent.Release();
     if (path->empty()) {
-      VIST_CHECK(entry.page == root_);
-      VIST_RETURN_IF_ERROR(SetRoot(sole_child));
-      return pool_->Free(entry.page);
+      VIST_CHECK(entry.page == root());
+      SetRoot(sole_child);
+      return versions_->Retire(entry.page);
     }
     PathEntry gp = path->back();
     VIST_ASSIGN_OR_RETURN(PageRef grand, pool_->Fetch(gp.page));
@@ -365,7 +414,7 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
       gnp.set_next(sole_child);
     }
     grand.MarkDirty();
-    return pool_->Free(entry.page);
+    return versions_->Retire(entry.page);
   }
   return Status::OK();
 }
@@ -373,50 +422,142 @@ Status BTree::RemoveEmptyLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
 // ---------------------------------------------------------------------------
 // Iterator
 
-void BTree::Iterator::LoadLeaf(PageId id) {
+void BTree::Iterator::Fail(Status status) {
+  status_ = std::move(status);
+  valid_ = false;
+  spine_.clear();
+}
+
+bool BTree::Iterator::LoadPage(PageId id, PageRef* out) {
   if (checker_ != nullptr && checker_->Expired()) {
-    status_ = Status::DeadlineExceeded("deadline expired during index scan");
-    valid_ = false;
-    leaf_.Release();
-    return;
+    Fail(Status::DeadlineExceeded("deadline expired during index scan"));
+    return false;
   }
   CountNodeAccess();
   auto ref = tree_->pool_->Fetch(id);
   if (!ref.ok()) {
-    status_ = ref.status();
-    valid_ = false;
-    return;
+    Fail(ref.status());
+    return false;
   }
-  leaf_ = std::move(ref).value();
-  if (leaf_.NeedsValidation()) {
-    NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
+  *out = std::move(ref).value();
+  if (out->NeedsValidation()) {
+    NodePage np(out->data(), tree_->pager_->usable_page_size());
     if (!np.Validate()) {
-      status_ = Status::Corruption("damaged B+ tree page " +
-                                   std::to_string(id));
-      valid_ = false;
-      leaf_.Release();
-      return;
+      Fail(Status::Corruption("damaged B+ tree page " + std::to_string(id)));
+      return false;
     }
-    leaf_.MarkValidated();
+    out->MarkValidated();
+  }
+  return true;
+}
+
+bool BTree::Iterator::DescendFirst(PageId id) {
+  while (true) {
+    PageRef ref;
+    if (!LoadPage(id, &ref)) return false;
+    NodePage np(ref.data(), tree_->pager_->usable_page_size());
+    if (np.is_leaf()) {
+      spine_.push_back({std::move(ref), 0});
+      return true;
+    }
+    id = np.next();  // leftmost child
+    VIST_CHECK(id != kInvalidPageId) << "internal node with no child";
+    spine_.push_back({std::move(ref), -1});
   }
 }
 
+bool BTree::Iterator::DescendLast(PageId id) {
+  while (true) {
+    PageRef ref;
+    if (!LoadPage(id, &ref)) return false;
+    NodePage np(ref.data(), tree_->pager_->usable_page_size());
+    if (np.is_leaf()) {
+      spine_.push_back({std::move(ref), np.num_cells() - 1});
+      return true;
+    }
+    const int n = np.num_cells();
+    const PageId child = n > 0 ? np.Child(n - 1) : np.next();
+    VIST_CHECK(child != kInvalidPageId) << "internal node with no child";
+    spine_.push_back({std::move(ref), n - 1});
+    id = child;
+  }
+}
+
+void BTree::Iterator::NextLeaf() {
+  const uint32_t page_size = tree_->pager_->usable_page_size();
+  spine_.pop_back();  // drop the exhausted leaf
+  while (!spine_.empty()) {
+    Level& lvl = spine_.back();
+    NodePage np(lvl.ref.data(), page_size);
+    if (lvl.index + 1 < np.num_cells()) {
+      ++lvl.index;
+      if (!DescendFirst(np.Child(lvl.index))) return;  // status_ set
+      NodePage leaf(spine_.back().ref.data(), page_size);
+      if (leaf.num_cells() > 0) {
+        valid_ = true;
+        return;
+      }
+      // Defensive: an empty non-root leaf should not exist, but skipping
+      // it keeps the cursor total rather than corrupting the position.
+      spine_.pop_back();
+      continue;
+    }
+    spine_.pop_back();
+  }
+  valid_ = false;  // clean end of data
+}
+
+void BTree::Iterator::PrevLeaf() {
+  const uint32_t page_size = tree_->pager_->usable_page_size();
+  spine_.pop_back();  // drop the exhausted leaf
+  while (!spine_.empty()) {
+    Level& lvl = spine_.back();
+    NodePage np(lvl.ref.data(), page_size);
+    if (lvl.index >= 0) {
+      --lvl.index;
+      const PageId child =
+          lvl.index == -1 ? np.next() : np.Child(lvl.index);
+      if (!DescendLast(child)) return;  // status_ set
+      NodePage leaf(spine_.back().ref.data(), page_size);
+      if (leaf.num_cells() > 0) {
+        valid_ = true;
+        return;
+      }
+      spine_.pop_back();
+      continue;
+    }
+    spine_.pop_back();
+  }
+  valid_ = false;  // clean start of data
+}
+
 void BTree::Iterator::Seek(const Slice& target) {
+  BTreeMetrics::Get().seeks.Increment();
   status_ = Status::OK();
   valid_ = false;
-  auto leaf_id = tree_->FindLeaf(target, nullptr);
-  if (!leaf_id.ok()) {
-    status_ = leaf_id.status();
-    return;
-  }
-  LoadLeaf(*leaf_id);
-  if (!status_.ok()) return;
-  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
-  index_ = np.LowerBound(target);
-  valid_ = true;
-  if (index_ >= np.num_cells()) {
-    // The target sorts past this leaf; continue in the right sibling.
-    Next();
+  spine_.clear();
+  PageId current = root_;
+  while (true) {
+    PageRef ref;
+    if (!LoadPage(current, &ref)) return;
+    NodePage np(ref.data(), tree_->pager_->usable_page_size());
+    if (np.is_leaf()) {
+      const int index = np.LowerBound(target);
+      const int n = np.num_cells();
+      spine_.push_back({std::move(ref), index});
+      if (index < n) {
+        valid_ = true;
+        return;
+      }
+      // The target sorts past this leaf; continue in the next one.
+      NextLeaf();
+      return;
+    }
+    int child_index = 0;
+    PageId child = RouteToChild(np, target, &child_index);
+    VIST_CHECK(child != kInvalidPageId) << "internal node with no child";
+    spine_.push_back({std::move(ref), child_index});
+    current = child;
   }
 }
 
@@ -424,98 +565,82 @@ void BTree::Iterator::SeekToFirst() {
   BTreeMetrics::Get().seeks.Increment();
   status_ = Status::OK();
   valid_ = false;
-  PageId current = tree_->root_;
-  while (true) {
-    LoadLeaf(current);
-    if (!status_.ok()) return;
-    NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
-    if (np.is_leaf()) break;
-    current = np.next();  // leftmost child
+  spine_.clear();
+  if (!DescendFirst(root_)) return;
+  NodePage leaf(spine_.back().ref.data(), tree_->pager_->usable_page_size());
+  if (leaf.num_cells() > 0) {
+    valid_ = true;
+  } else {
+    NextLeaf();  // empty root leaf (empty tree) or defensive skip
   }
-  index_ = -1;
-  valid_ = true;
-  Next();
 }
 
 void BTree::Iterator::SeekToLast() {
   BTreeMetrics::Get().seeks.Increment();
   status_ = Status::OK();
   valid_ = false;
-  PageId current = tree_->root_;
-  while (true) {
-    LoadLeaf(current);
-    if (!status_.ok()) return;
-    NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
-    if (np.is_leaf()) break;
-    const int n = np.num_cells();
-    current = n > 0 ? np.Child(n - 1) : np.next();
+  spine_.clear();
+  if (!DescendLast(root_)) return;
+  NodePage leaf(spine_.back().ref.data(), tree_->pager_->usable_page_size());
+  if (leaf.num_cells() > 0) {
+    valid_ = true;
+  } else {
+    PrevLeaf();
   }
-  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
-  index_ = np.num_cells();
-  valid_ = true;
-  Prev();
 }
 
 void BTree::Iterator::Next() {
   VIST_CHECK(valid_);
-  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
-  ++index_;
-  while (index_ >= np.num_cells()) {
-    const PageId next_id = np.next();
-    if (next_id == kInvalidPageId) {
-      valid_ = false;
-      leaf_.Release();
-      return;
-    }
-    LoadLeaf(next_id);
-    if (!status_.ok()) {
-      valid_ = false;
-      return;
-    }
-    np = NodePage(leaf_.data(), tree_->pager_->usable_page_size());
-    index_ = 0;
-  }
+  Level& leaf = spine_.back();
+  NodePage np(leaf.ref.data(), tree_->pager_->usable_page_size());
+  if (++leaf.index < np.num_cells()) return;
+  NextLeaf();
 }
 
 void BTree::Iterator::Prev() {
   VIST_CHECK(valid_);
-  NodePage np(leaf_.data(), tree_->pager_->usable_page_size());
-  --index_;
-  while (index_ < 0) {
-    const PageId prev_id = np.prev();
-    if (prev_id == kInvalidPageId) {
-      valid_ = false;
-      leaf_.Release();
-      return;
-    }
-    LoadLeaf(prev_id);
-    if (!status_.ok()) {
-      valid_ = false;
-      return;
-    }
-    np = NodePage(leaf_.data(), tree_->pager_->usable_page_size());
-    index_ = np.num_cells() - 1;
-  }
+  Level& leaf = spine_.back();
+  if (--leaf.index >= 0) return;
+  PrevLeaf();
 }
 
 Slice BTree::Iterator::key() const {
   VIST_CHECK(valid_);
-  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->usable_page_size());
-  return np.Key(index_);
+  const Level& leaf = spine_.back();
+  NodePage np(const_cast<char*>(leaf.ref.data()),
+              tree_->pager_->usable_page_size());
+  return np.Key(leaf.index);
 }
 
 Slice BTree::Iterator::value() const {
   VIST_CHECK(valid_);
-  NodePage np(const_cast<char*>(leaf_.data()), tree_->pager_->usable_page_size());
-  return np.Value(index_);
+  const Level& leaf = spine_.back();
+  NodePage np(const_cast<char*>(leaf.ref.data()),
+              tree_->pager_->usable_page_size());
+  return np.Value(leaf.index);
 }
 
-Result<uint64_t> BTree::CountEntries() {
-  auto it = NewIterator();
+Result<uint64_t> BTree::CountEntriesAt(PageId root) const {
+  std::unique_ptr<Iterator> it(new Iterator(this, root));
   uint64_t count = 0;
   for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
   VIST_RETURN_IF_ERROR(it->status());
   return count;
+}
+
+Result<uint64_t> BTree::CountEntries() { return CountEntriesAt(root()); }
+
+// ---------------------------------------------------------------------------
+// BTreeView
+
+Result<std::string> BTreeView::Get(const Slice& key) const {
+  VIST_CHECK(valid());
+  return tree_->GetAt(root_, key);
+}
+
+Result<uint64_t> BTreeView::CountEntries() const {
+  VIST_CHECK(valid());
+  return tree_->CountEntriesAt(root_);
 }
 
 }  // namespace vist

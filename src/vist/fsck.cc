@@ -23,14 +23,12 @@ class Walker {
 
   /// Walks one tree; returns the number of leaf cells seen.
   uint64_t WalkTree(const char* name, PageId root) {
-    leaves_.clear();
     leaf_depth_ = -1;
     entries_ = 0;
     tree_ = name;
     // An empty tree is a single leaf; the root is never kInvalidPageId for
     // a tree that exists (callers skip absent trees).
     Walk(root, /*has_lo=*/false, {}, /*has_hi=*/false, {}, /*depth=*/0);
-    CheckSiblings();
     return entries_;
   }
 
@@ -85,7 +83,9 @@ class Walker {
                 std::to_string(leaf_depth_));
       }
       entries_ += np.num_cells();
-      leaves_.push_back({id, np.prev(), np.next()});
+      // Leaves carry no sibling links under copy-on-write (a split would
+      // otherwise have to dirty a published neighbor); iteration descends
+      // through the internal spine instead, so there is nothing to check.
       return;
     }
     // Internal: recurse with narrowed bounds. Copy out the routing info
@@ -108,29 +108,10 @@ class Walker {
     }
   }
 
-  void CheckSiblings() {
-    for (size_t i = 0; i < leaves_.size(); ++i) {
-      const PageId want_prev = i == 0 ? kInvalidPageId : leaves_[i - 1].id;
-      const PageId want_next =
-          i + 1 == leaves_.size() ? kInvalidPageId : leaves_[i + 1].id;
-      if (leaves_[i].prev != want_prev || leaves_[i].next != want_next) {
-        Problem("leaf " + std::to_string(leaves_[i].id) +
-                " sibling links disagree with the tree order");
-      }
-    }
-  }
-
-  struct Leaf {
-    PageId id;
-    PageId prev;
-    PageId next;
-  };
-
   Pager* pager_;
   FsckReport* report_;
   std::vector<char> page_buf_;
   std::set<PageId> visited_;
-  std::vector<Leaf> leaves_;
   int leaf_depth_ = -1;
   uint64_t entries_ = 0;
   const char* tree_ = "";

@@ -130,7 +130,7 @@ class Searcher {
     const uint64_t parent_lo = enclosing.n;
     const uint64_t parent_hi = enclosing.n + enclosing.size;
 
-    auto it = context_.entry_tree->NewIterator();
+    auto it = context_.entry_tree.NewIterator();
     it->set_deadline_checker(context_.deadline);
     it->Seek(partial);
     while (status_.ok() && it->Valid() &&
@@ -192,7 +192,7 @@ class Searcher {
   void CollectDocIds(const NodeRecord& node) {
     Count(&obs::QueryProfile::docid_range_scans,
           MatcherMetrics::Get().docid_range_scans);
-    auto it = context_.docid_tree->NewIterator();
+    auto it = context_.docid_tree.NewIterator();
     it->set_deadline_checker(context_.deadline);
     const std::string lo = EncodeDocIdKey(node.n, 0);
     const uint64_t hi = node.n + node.size;
@@ -222,7 +222,7 @@ class Searcher {
 Result<std::vector<uint64_t>> MatchCompiledQuery(
     const MatchContext& context, const query::CompiledQuery& compiled,
     obs::QueryProfile* profile) {
-  VIST_CHECK(context.entry_tree != nullptr && context.docid_tree != nullptr);
+  VIST_CHECK(context.entry_tree.valid() && context.docid_tree.valid());
   obs::ProfileScope scope(profile);
   if (profile != nullptr) {
     profile->alternatives += compiled.alternatives.size();

@@ -29,8 +29,11 @@
 namespace vist {
 
 struct MatchContext {
-  BTree* entry_tree = nullptr;
-  BTree* docid_tree = nullptr;
+  /// Read views of the combined-entry and DocId trees, resolved from one
+  /// pinned Version (the caller's snapshot) so the whole match sees a
+  /// single committed state while writers publish newer versions.
+  BTreeView entry_tree;
+  BTreeView docid_tree;
   /// Deepest prefix ever indexed; bounds the '//' length expansion.
   uint64_t max_depth = 0;
   /// When false, the final DocId range queries are skipped and the result

@@ -70,26 +70,44 @@ Result<std::unique_ptr<RistIndex>> RistIndex::Build(
   const size_t pool_pages = std::max<size_t>(options.buffer_pool_pages, 256);
   index->pool_ =
       std::make_unique<BufferPool>(index->pager_.get(), pool_pages);
-  VIST_ASSIGN_OR_RETURN(
-      index->entry_tree_,
-      BTree::Create(index->pager_.get(), index->pool_.get(), kEntryTreeSlot));
-  VIST_ASSIGN_OR_RETURN(
-      index->docid_tree_,
-      BTree::Create(index->pager_.get(), index->pool_.get(), kDocIdTreeSlot));
+  index->versions_ = std::make_unique<VersionManager>(index->pager_.get(),
+                                                      index->pool_.get());
+  index->versions_->Bootstrap();
 
-  // Step iii): insert every labeled node into the B+ trees.
-  uint64_t max_depth = 0;
-  VIST_RETURN_IF_ERROR(LoadSubtree(*trie.root(), /*is_root=*/true, 0,
-                                   index->entry_tree_.get(),
-                                   index->docid_tree_.get(), &max_depth));
+  // The whole bulk load is one write transaction committing one version —
+  // the only version a static index ever has.
+  index->versions_->BeginWrite();
+  Status loaded = [&]() -> Status {
+    VIST_ASSIGN_OR_RETURN(
+        index->entry_tree_,
+        BTree::Create(index->pager_.get(), index->pool_.get(),
+                      index->versions_.get(), kEntryTreeSlot));
+    VIST_ASSIGN_OR_RETURN(
+        index->docid_tree_,
+        BTree::Create(index->pager_.get(), index->pool_.get(),
+                      index->versions_.get(), kDocIdTreeSlot));
+    // Step iii): insert every labeled node into the B+ trees.
+    uint64_t max_depth = 0;
+    VIST_RETURN_IF_ERROR(LoadSubtree(*trie.root(), /*is_root=*/true, 0,
+                                     index->entry_tree_.get(),
+                                     index->docid_tree_.get(), &max_depth));
+    index->max_depth_ = max_depth;
+    return Status::OK();
+  }();
+  if (loaded.ok()) loaded = index->versions_->Commit(/*epoch=*/0);
+  if (!loaded.ok()) {
+    index->versions_->Abort();
+    return loaded;
+  }
+  index->version_ = index->versions_->Pin();
   index->num_nodes_ = trie.num_nodes();
-  index->max_depth_ = max_depth;
   return index;
 }
 
 Result<std::vector<uint64_t>> RistIndex::QueryCompiled(
     const query::CompiledQuery& compiled, obs::QueryProfile* profile) {
-  MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth_};
+  MatchContext context{entry_tree_->ViewAt(*version_),
+                       docid_tree_->ViewAt(*version_), max_depth_};
   return MatchCompiledQuery(context, compiled, profile);
 }
 

@@ -27,6 +27,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/version.h"
 #include "vist/matcher.h"
 
 namespace vist {
@@ -75,8 +76,13 @@ class RistIndex {
   RistOptions options_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  // Declared after pool_ (destroyed first): reclamation frees through it.
+  std::unique_ptr<VersionManager> versions_;
   std::unique_ptr<BTree> entry_tree_;
   std::unique_ptr<BTree> docid_tree_;
+  /// The one committed version (the index is static); every query reads
+  /// through it.
+  std::shared_ptr<const Version> version_;
   uint64_t num_nodes_ = 0;
   uint64_t max_depth_ = 0;
 };

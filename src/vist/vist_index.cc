@@ -21,7 +21,10 @@ namespace {
 constexpr int kEntryTreeSlot = 0;
 constexpr int kDocIdTreeSlot = 1;
 constexpr int kDocStoreSlot = 2;
-// Meta slots 3 and 4 hold max_depth and underflow_runs (see header).
+// Scalar slots, versioned with the tree roots so a snapshot's scalars match
+// its trees (see header).
+constexpr int kMaxDepthSlot = 3;
+constexpr int kUnderflowSlot = 4;
 
 // Metric reference: docs/OBSERVABILITY.md (vist section).
 struct VistMetrics {
@@ -48,6 +51,15 @@ std::string DocChunkKey(uint64_t doc_id, uint32_t chunk) {
   PutFixed64BE(&key, doc_id);
   PutFixed32BE(&key, chunk);
   return key;
+}
+
+Status ParseRootRecord(const std::string& value, NodeRecord* record) {
+  if (!DecodeNodeRecord(value, record)) {
+    return Status::Corruption("malformed virtual-root record");
+  }
+  record->n = 0;
+  record->parent_n = 0;
+  return Status::OK();
 }
 
 // VistIndex's compiled form: the query tree (needed again at execution
@@ -89,10 +101,18 @@ VistIndex::VistIndex(std::string dir, VistOptions options)
       root_key_(EncodeEntryKey(EncodeDKey(kInvalidSymbol, {}), 0, 0)) {}
 
 VistIndex::~VistIndex() {
-  if (pager_ != nullptr && !crashed_) {
-    Status s = Flush();
-    if (!s.ok()) VIST_LOG(Error) << "index close: " << s.ToString();
+  if (pager_ == nullptr) return;
+  if (crashed_) {
+    // Unflushed pages never reach disk; orphan the limbo list too (the
+    // journal rollback on reopen returns the whole batch, limbo included).
+    versions_->AbandonForCrash();
+    return;
   }
+  // Flush drains every reclaimable limbo page first (no snapshots may
+  // outlive the index, so at this point that is all of them) — the synced
+  // freelist then accounts for every retired page and fsck stays clean.
+  Status s = Flush();
+  if (!s.ok()) VIST_LOG(Error) << "index close: " << s.ToString();
 }
 
 void VistIndex::SimulateCrashForTesting() {
@@ -100,6 +120,7 @@ void VistIndex::SimulateCrashForTesting() {
   // commits a mutation readers could observe at a new epoch)
   WriterLock lock(mu_);
   crashed_ = true;
+  versions_->AbandonForCrash();
   pool_->SimulateCrashForTesting();
   pager_->SimulateCrashForTesting();
 }
@@ -113,23 +134,43 @@ Status VistIndex::InitTrees(bool create) {
                         Pager::Open(PageFilePath(dir_), pager_options));
   const size_t pool_pages = std::max<size_t>(options_.buffer_pool_pages, 256);
   pool_ = std::make_unique<BufferPool>(pager_.get(), pool_pages);
+  versions_ = std::make_unique<VersionManager>(pager_.get(), pool_.get());
+  versions_->Bootstrap();
   if (create) {
-    VIST_ASSIGN_OR_RETURN(
-        entry_tree_, BTree::Create(pager_.get(), pool_.get(), kEntryTreeSlot));
-    VIST_ASSIGN_OR_RETURN(
-        docid_tree_, BTree::Create(pager_.get(), pool_.get(), kDocIdTreeSlot));
-    if (options_.store_documents) {
-      VIST_ASSIGN_OR_RETURN(
-          doc_store_, BTree::Create(pager_.get(), pool_.get(), kDocStoreSlot));
+    // Creating the trees allocates their root pages and points the meta
+    // slots at them — one version-install transaction like any mutation.
+    versions_->BeginWrite();
+    Status created = [&]() -> Status {
+      VIST_ASSIGN_OR_RETURN(entry_tree_,
+                            BTree::Create(pager_.get(), pool_.get(),
+                                          versions_.get(), kEntryTreeSlot));
+      VIST_ASSIGN_OR_RETURN(docid_tree_,
+                            BTree::Create(pager_.get(), pool_.get(),
+                                          versions_.get(), kDocIdTreeSlot));
+      if (options_.store_documents) {
+        VIST_ASSIGN_OR_RETURN(doc_store_,
+                              BTree::Create(pager_.get(), pool_.get(),
+                                            versions_.get(), kDocStoreSlot));
+      }
+      return Status::OK();
+    }();
+    if (created.ok()) {
+      created = versions_->Commit(/*epoch=*/0);
+    } else {
+      versions_->Abort();
     }
+    VIST_RETURN_IF_ERROR(created);
   } else {
-    VIST_ASSIGN_OR_RETURN(
-        entry_tree_, BTree::Open(pager_.get(), pool_.get(), kEntryTreeSlot));
-    VIST_ASSIGN_OR_RETURN(
-        docid_tree_, BTree::Open(pager_.get(), pool_.get(), kDocIdTreeSlot));
+    VIST_ASSIGN_OR_RETURN(entry_tree_,
+                          BTree::Open(pager_.get(), pool_.get(),
+                                      versions_.get(), kEntryTreeSlot));
+    VIST_ASSIGN_OR_RETURN(docid_tree_,
+                          BTree::Open(pager_.get(), pool_.get(),
+                                      versions_.get(), kDocIdTreeSlot));
     if (options_.store_documents) {
-      VIST_ASSIGN_OR_RETURN(
-          doc_store_, BTree::Open(pager_.get(), pool_.get(), kDocStoreSlot));
+      VIST_ASSIGN_OR_RETURN(doc_store_,
+                            BTree::Open(pager_.get(), pool_.get(),
+                                        versions_.get(), kDocStoreSlot));
     }
   }
   if (options_.allocator == VistOptions::AllocatorKind::kStatistical) {
@@ -177,7 +218,14 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Create(
     // vist-lint: no-epoch-bump(construction: the index is not shared yet,
     // so there is no cache or router watching the epoch)
     WriterLock lock(index->mu_);
-    VIST_RETURN_IF_ERROR(index->WriteRecord(index->root_key_, root));
+    index->versions_->BeginWrite();
+    Status s = index->WriteRecord(index->root_key_, root);
+    if (s.ok()) {
+      s = index->versions_->Commit(/*epoch=*/0);
+    } else {
+      index->versions_->Abort();
+    }
+    VIST_RETURN_IF_ERROR(s);
   }
   VIST_RETURN_IF_ERROR(index->Flush());
   return index;
@@ -198,12 +246,13 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Open(const std::string& dir,
 
 Status VistIndex::LoadRootRecord(NodeRecord* record) {
   VIST_ASSIGN_OR_RETURN(std::string value, entry_tree_->Get(root_key_));
-  if (!DecodeNodeRecord(value, record)) {
-    return Status::Corruption("malformed virtual-root record");
-  }
-  record->n = 0;
-  record->parent_n = 0;
-  return Status::OK();
+  return ParseRootRecord(value, record);
+}
+
+Status VistIndex::LoadRootRecordAt(const BTreeView& tree,
+                                   NodeRecord* record) const {
+  VIST_ASSIGN_OR_RETURN(std::string value, tree.Get(root_key_));
+  return ParseRootRecord(value, record);
 }
 
 Status VistIndex::WriteRecord(const std::string& entry_key,
@@ -240,14 +289,49 @@ Result<bool> VistIndex::FindImmediateChild(const std::string& dkey,
   return false;
 }
 
+std::shared_ptr<const VistSnapshot> VistIndex::PinSnapshot() const {
+  std::shared_ptr<VistSnapshot> snap(new VistSnapshot());
+  snap->owner_ = this;
+  snap->version_ = versions_->Pin();
+  const Version& v = *snap->version_;
+  snap->entry_tree_ = entry_tree_->ViewAt(v);
+  snap->docid_tree_ = docid_tree_->ViewAt(v);
+  if (doc_store_ != nullptr) snap->doc_store_ = doc_store_->ViewAt(v);
+  return snap;
+}
+
+Result<std::shared_ptr<const VistSnapshot>> VistIndex::ResolveSnapshot(
+    const QueryOptions& options) const {
+  if (options.snapshot == nullptr) return PinSnapshot();
+  const auto* snap = dynamic_cast<const VistSnapshot*>(options.snapshot);
+  if (snap == nullptr || snap->owner_ != this) {
+    return Status::InvalidArgument(
+        "QueryOptions::snapshot was not issued by this VistIndex");
+  }
+  // Borrowed: the caller keeps the owning shared_ptr alive for the call
+  // (QueryOptions contract), so a non-owning alias is sound here.
+  return std::shared_ptr<const VistSnapshot>(
+      std::shared_ptr<const VistSnapshot>(), snap);
+}
+
+Result<std::shared_ptr<const Snapshot>> VistIndex::GetSnapshot() {
+  return std::shared_ptr<const Snapshot>(PinSnapshot());
+}
+
 Status VistIndex::InsertSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
-  // Every public mutating entry point bumps the epoch exactly once, while
-  // the writer lock is held (the QueryableIndex contract result caching
-  // depends on). Bumping up front also covers failure paths that may have
-  // already written — a spurious invalidation is safe, a missed one is not.
+  versions_->BeginWrite();
+  Status s = InsertSequenceImpl(sequence, doc_id);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
+  // Install-then-bump (the QueryableIndex epoch contract): the epoch moves
+  // only after the new version is published or rolled back, while the
+  // writer lock is still held.
   BumpEpoch();
-  return InsertSequenceImpl(sequence, doc_id);
+  return s;
 }
 
 Status VistIndex::InsertSequenceImpl(const Sequence& sequence,
@@ -307,7 +391,8 @@ Status VistIndex::InsertSequenceImpl(const Sequence& sequence,
   for (const SequenceElement& elem : sequence) {
     depth = std::max<uint64_t>(depth, elem.prefix.size());
   }
-  return set_max_depth(depth);
+  set_max_depth(depth);
+  return Status::OK();
 }
 
 Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
@@ -329,7 +414,7 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
     const uint64_t run_lo = ancestor.record.seq_cursor - run_len;
     ancestor.record.seq_cursor = run_lo;
     ancestor.dirty = true;
-    VIST_RETURN_IF_ERROR(set_underflow_runs(underflow_runs() + 1));
+    set_underflow_runs(underflow_runs() + 1);
     VistMetrics::Get().underflow_runs.Increment();
 
     // The doc's path now diverges at the ancestor: the abandoned tail
@@ -360,7 +445,19 @@ Status VistIndex::InsertUnderflowRun(const Sequence& sequence,
 Status VistIndex::BulkLoadSequences(
     const std::vector<std::pair<uint64_t, Sequence>>& documents) {
   WriterLock lock(mu_);
+  versions_->BeginWrite();
+  Status s = BulkLoadSequencesImpl(documents);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
   BumpEpoch();
+  return s;
+}
+
+Status VistIndex::BulkLoadSequencesImpl(
+    const std::vector<std::pair<uint64_t, Sequence>>& documents) {
   {
     NodeRecord root;
     VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
@@ -488,19 +585,28 @@ Status VistIndex::BulkLoadSequences(
     VIST_RETURN_IF_ERROR(
         docid_tree_->Put(EncodeDocIdKey(n, doc_id), Slice()));
   }
-  VIST_RETURN_IF_ERROR(set_max_depth(depth));
-  return set_underflow_runs(underflows);
+  set_max_depth(depth);
+  set_underflow_runs(underflows);
+  return Status::OK();
 }
 
 Status VistIndex::InsertDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
-  BumpEpoch();
+  versions_->BeginWrite();
+  // Interning is not part of the transaction: the symbol table is
+  // append-only, so symbols from an aborted insert are harmless.
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
-  VIST_RETURN_IF_ERROR(InsertSequenceImpl(sequence, doc_id));
-  if (options_.store_documents) {
-    VIST_RETURN_IF_ERROR(StoreDocumentText(doc_id, xml::WriteNode(root)));
+  Status s = InsertSequenceImpl(sequence, doc_id);
+  if (s.ok() && options_.store_documents) {
+    s = StoreDocumentText(doc_id, xml::WriteNode(root));
   }
-  return Status::OK();
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
+  BumpEpoch();
+  return s;
 }
 
 Result<bool> VistIndex::TryDelete(const Sequence& sequence, size_t i,
@@ -571,8 +677,15 @@ Result<bool> VistIndex::TryDelete(const Sequence& sequence, size_t i,
 
 Status VistIndex::DeleteSequence(const Sequence& sequence, uint64_t doc_id) {
   WriterLock lock(mu_);
+  versions_->BeginWrite();
+  Status s = DeleteSequenceImpl(sequence, doc_id);
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
   BumpEpoch();
-  return DeleteSequenceImpl(sequence, doc_id);
+  return s;
 }
 
 Status VistIndex::DeleteSequenceImpl(const Sequence& sequence,
@@ -595,27 +708,36 @@ Status VistIndex::DeleteSequenceImpl(const Sequence& sequence,
 
 Status VistIndex::DeleteDocument(const xml::Node& root, uint64_t doc_id) {
   WriterLock lock(mu_);
-  BumpEpoch();
+  versions_->BeginWrite();
   Sequence sequence = BuildSequence(root, &symtab_, options_.sequence);
-  VIST_RETURN_IF_ERROR(DeleteSequenceImpl(sequence, doc_id));
-  if (options_.store_documents) {
-    VIST_RETURN_IF_ERROR(DeleteDocumentText(doc_id));
+  Status s = DeleteSequenceImpl(sequence, doc_id);
+  if (s.ok() && options_.store_documents) {
+    s = DeleteDocumentText(doc_id);
   }
-  return Status::OK();
+  if (s.ok()) {
+    s = versions_->Commit(epoch() + 1);
+  } else {
+    versions_->Abort();
+  }
+  BumpEpoch();
+  return s;
 }
 
 Result<std::vector<uint64_t>> VistIndex::QueryCompiled(
     const query::CompiledQuery& compiled, obs::QueryProfile* profile,
     bool collect_doc_ids) {
-  ReaderLock lock(mu_);
-  return QueryCompiledImpl(compiled, profile, collect_doc_ids);
+  // Lock-free: pin the current version and read only its frozen pages.
+  std::shared_ptr<const VistSnapshot> snap = PinSnapshot();
+  return QueryCompiledImpl(*snap, compiled, profile, collect_doc_ids);
 }
 
 Result<std::vector<uint64_t>> VistIndex::QueryCompiledImpl(
-    const query::CompiledQuery& compiled, obs::QueryProfile* profile,
-    bool collect_doc_ids, DeadlineChecker* checker) {
-  MatchContext context{entry_tree_.get(), docid_tree_.get(), max_depth(),
-                       collect_doc_ids, checker};
+    const VistSnapshot& snap, const query::CompiledQuery& compiled,
+    obs::QueryProfile* profile, bool collect_doc_ids,
+    DeadlineChecker* checker) {
+  MatchContext context{snap.entry_tree_, snap.docid_tree_,
+                       snap.version_->slots[kMaxDepthSlot], collect_doc_ids,
+                       checker};
   return MatchCompiledQuery(context, compiled, profile);
 }
 
@@ -628,8 +750,8 @@ Result<std::vector<uint64_t>> VistIndex::Query(std::string_view path,
 
 Result<std::shared_ptr<const QueryPlan>> VistIndex::Prepare(
     std::string_view path, const QueryOptions& options) {
-  // Compilation reads the symbol table, which inserts grow — shared lock.
-  ReaderLock lock(mu_);
+  // Compilation reads only the symbol table, which synchronizes itself
+  // (and is append-only) — no index lock, no snapshot needed.
   VIST_ASSIGN_OR_RETURN(query::PathExpr expr, query::ParsePath(path));
   VIST_ASSIGN_OR_RETURN(query::QueryTree tree, query::BuildQueryTree(expr));
   query::CompileOptions compile_options;
@@ -652,7 +774,11 @@ Result<std::vector<uint64_t>> VistIndex::QueryWithPlan(
     return Status::InvalidArgument(
         "plan was not prepared by a VistIndex");
   }
-  ReaderLock lock(mu_);
+  // One snapshot covers matching, document fetches, and verification, so
+  // the whole query — including its verify pass — observes a single
+  // committed version, with no reader lock anywhere.
+  VIST_ASSIGN_OR_RETURN(std::shared_ptr<const VistSnapshot> snap,
+                        ResolveSnapshot(options));
   VistMetrics::Get().queries.Increment();
   obs::ScopedTimer timer(VistMetrics::Get().query_latency_us);
   obs::QueryProfile* profile = options.profile;
@@ -665,7 +791,8 @@ Result<std::vector<uint64_t>> VistIndex::QueryWithPlan(
   // (docs/CONCURRENCY.md: the checkpoints take no locks).
   DeadlineChecker checker(options.deadline);
   VIST_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
-                        QueryCompiledImpl(vist_plan->compiled(), profile,
+                        QueryCompiledImpl(*snap, vist_plan->compiled(),
+                                          profile,
                                           /*collect_doc_ids=*/true,
                                           &checker));
   if (!options.verify) return ids;
@@ -682,7 +809,7 @@ Result<std::vector<uint64_t>> VistIndex::QueryWithPlan(
     if (checker.Expired()) {
       return Status::DeadlineExceeded("deadline expired during verification");
     }
-    VIST_ASSIGN_OR_RETURN(std::string text, GetDocumentImpl(doc_id));
+    VIST_ASSIGN_OR_RETURN(std::string text, GetDocumentImpl(*snap, doc_id));
     VIST_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
     const bool embedded =
         VerifyEmbedding(vist_plan->tree(), *doc.root(), &checker);
@@ -727,18 +854,19 @@ Status VistIndex::DeleteDocumentText(uint64_t doc_id) {
 }
 
 Result<std::string> VistIndex::GetDocument(uint64_t doc_id) {
-  ReaderLock lock(mu_);
-  return GetDocumentImpl(doc_id);
+  std::shared_ptr<const VistSnapshot> snap = PinSnapshot();
+  return GetDocumentImpl(*snap, doc_id);
 }
 
-Result<std::string> VistIndex::GetDocumentImpl(uint64_t doc_id) {
+Result<std::string> VistIndex::GetDocumentImpl(const VistSnapshot& snap,
+                                               uint64_t doc_id) {
   if (!options_.store_documents) {
     return Status::InvalidArgument("index does not store documents");
   }
   std::string text;
   uint32_t chunk = 0;
   while (true) {
-    auto piece = doc_store_->Get(DocChunkKey(doc_id, chunk));
+    auto piece = snap.doc_store_.Get(DocChunkKey(doc_id, chunk));
     if (piece.status().IsNotFound()) break;
     VIST_RETURN_IF_ERROR(piece.status());
     text += *piece;
@@ -749,21 +877,26 @@ Result<std::string> VistIndex::GetDocumentImpl(uint64_t doc_id) {
 }
 
 Result<IndexStats> VistIndex::Stats() {
-  ReaderLock lock(mu_);
+  std::shared_ptr<const VistSnapshot> snap = PinSnapshot();
   IndexStats stats;
+  // page_count is an atomic read; everything else comes from the pinned
+  // version, so the cardinalities are mutually consistent.
   stats.size_bytes = pager_->page_count() * pager_->page_size();
-  stats.max_depth = max_depth();
-  stats.underflow_runs = underflow_runs();
+  stats.max_depth = snap->version_->slots[kMaxDepthSlot];
+  stats.underflow_runs = snap->version_->slots[kUnderflowSlot];
   NodeRecord root;
-  VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
+  VIST_RETURN_IF_ERROR(LoadRootRecordAt(snap->entry_tree_, &root));
   stats.num_documents = root.refcount;
-  VIST_ASSIGN_OR_RETURN(uint64_t entries, entry_tree_->CountEntries());
+  VIST_ASSIGN_OR_RETURN(uint64_t entries, snap->entry_tree_.CountEntries());
   stats.num_entries = entries - 1;  // minus the virtual-root record
   return stats;
 }
 
 Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
-  ReaderLock lock(mu_);
+  // One pinned snapshot: the four passes see a single committed version
+  // even while writers commit, so a clean live index can be checked under
+  // concurrent mutation without false positives.
+  std::shared_ptr<const VistSnapshot> snap = PinSnapshot();
   IntegrityReport report;
   auto complain = [&report](std::string problem) {
     if (report.problems.size() < 64) {  // cap the noise on mass damage
@@ -779,7 +912,7 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
   };
   std::map<uint64_t, NodeInfo> nodes;
   {
-    auto it = entry_tree_->NewIterator();
+    auto it = snap->entry_tree_.NewIterator();
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       if (it->key().ToString() == root_key_) continue;
       Slice dkey;
@@ -835,7 +968,7 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
   // label list for refcount accounting.
   std::vector<uint64_t> doc_labels;
   {
-    auto it = docid_tree_->NewIterator();
+    auto it = snap->docid_tree_.NewIterator();
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       uint64_t n = 0, doc_id = 0;
       if (!DecodeDocIdKey(it->key(), &n, &doc_id)) {
@@ -868,7 +1001,7 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
     }
   }
   NodeRecord root;
-  VIST_RETURN_IF_ERROR(LoadRootRecord(&root));
+  VIST_RETURN_IF_ERROR(LoadRootRecordAt(snap->entry_tree_, &root));
   if (root.refcount != doc_labels.size()) {
     complain("virtual root refcount " + std::to_string(root.refcount) +
              " but " + std::to_string(doc_labels.size()) + " documents");
@@ -878,7 +1011,18 @@ Result<VistIndex::IntegrityReport> VistIndex::CheckIntegrity() {
 
 Status VistIndex::Flush() {
   WriterLock lock(mu_);
+  Status s = FlushLocked();
+  // Flush publishes no new version, but it is a public mutating entry
+  // point, so the uniform epoch contract still applies.
   BumpEpoch();
+  return s;
+}
+
+Status VistIndex::FlushLocked() {
+  // Return limbo pages whose last pinning reader has departed to the
+  // freelist first, so the synced freelist accounts for them (remaining
+  // limbo pages drain at the next Flush or at close).
+  VIST_RETURN_IF_ERROR(versions_->ReclaimEligible());
   VIST_RETURN_IF_ERROR(symtab_.Save(SymbolsPath(dir_)));
   VIST_RETURN_IF_ERROR(pool_->FlushAll());
   return pager_->Sync();

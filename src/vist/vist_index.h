@@ -13,15 +13,20 @@
 //   index->InsertDocument(*doc.root(), /*doc_id=*/1);
 //   auto ids = index->Query("/purchase//item[manufacturer='intel']");
 //
-// Threading (docs/CONCURRENCY.md): one VistIndex can be shared across
-// threads. Queries (Query/QueryCompiled/GetDocument/Stats/CheckIntegrity)
-// take an internal reader lock and may run concurrently with each other;
-// mutations (Insert*/Delete*/BulkLoad*/Flush) take the writer side and are
-// serialized, both against each other and against all readers. A query
-// therefore always observes a point between two whole writer operations —
-// never a half-applied insert — and the *durable* snapshot is the state of
-// the last Flush(). The same contract, via the same lock shape, applies to
-// both baseline indexes so concurrent Table-4 comparisons stay fair.
+// Threading (docs/CONCURRENCY.md "Snapshots"): one VistIndex can be shared
+// across threads. Mutations (Insert*/Delete*/BulkLoad*/Flush) serialize
+// behind the writer lock and run as copy-on-write transactions: each one
+// builds the next tree version out-of-place and publishes it atomically
+// (VersionManager::Commit), so a failed mutation rolls back completely.
+// Queries (Query/QueryCompiled/GetDocument/Stats/CheckIntegrity) take NO
+// lock at all: each pins the current published version (a Snapshot) and
+// reads only pages frozen in it, so readers never wait on a writer — not
+// even one holding a multi-hundred-ms bulk insert open. A query observes
+// exactly one committed version; GetSnapshot() hands that pin to callers
+// for repeatable reads across queries (QueryOptions::snapshot). The
+// durable state is still that of the last Flush(). The same contract, via
+// the same shapes, applies to both baseline indexes so concurrent Table-4
+// comparisons stay fair.
 
 #ifndef VIST_VIST_VIST_INDEX_H_
 #define VIST_VIST_VIST_INDEX_H_
@@ -41,6 +46,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/version.h"
 #include "vist/matcher.h"
 #include "vist/schema_stats.h"
 #include "vist/scope_allocator.h"
@@ -90,6 +96,24 @@ struct VistOptions {
 // QueryOptions and IndexStats, shared by every engine, live with the
 // QueryableIndex interface in exec/queryable_index.h.
 
+/// VistIndex's pinned read view: one published Version plus B+ tree views
+/// resolved from its roots. See exec/queryable_index.h (Snapshot) for the
+/// contract; obtained via VistIndex::GetSnapshot().
+class VistSnapshot : public Snapshot {
+ public:
+  uint64_t epoch() const override { return version_->epoch; }
+
+ private:
+  friend class VistIndex;
+  VistSnapshot() = default;
+
+  const class VistIndex* owner_ = nullptr;
+  std::shared_ptr<const Version> version_;
+  BTreeView entry_tree_;
+  BTreeView docid_tree_;
+  BTreeView doc_store_;  // invalid unless store_documents
+};
+
 class VistIndex : public QueryableIndex {
  public:
   /// Creates a fresh index in `dir` (created if missing; must not already
@@ -109,6 +133,8 @@ class VistIndex : public QueryableIndex {
 
   /// Indexes a document (Algorithm 4). `doc_id` is caller-assigned and must
   /// be unique. Also stores the serialized document when store_documents.
+  /// Like every mutation, commits atomically: on error nothing is
+  /// published and readers keep seeing the previous version.
   Status InsertDocument(const xml::Node& root, uint64_t doc_id);
 
   /// Indexes a pre-built sequence (no document store entry).
@@ -119,6 +145,8 @@ class VistIndex : public QueryableIndex {
   /// but entries are staged in memory and written to the B+ trees in key
   /// order, which packs pages densely and clusters D-key ranges — the
   /// locality a one-at-a-time build cannot get. Memory: O(total entries).
+  /// One copy-on-write transaction: concurrent readers see the empty
+  /// index until the load commits, then the full corpus.
   Status BulkLoadSequences(
       const std::vector<std::pair<uint64_t, Sequence>>& documents);
 
@@ -154,6 +182,10 @@ class VistIndex : public QueryableIndex {
   /// Returns the stored XML text of a document (store_documents only).
   Result<std::string> GetDocument(uint64_t doc_id);
 
+  /// Pins the current committed version as a VistSnapshot — lock-free,
+  /// never waits on a writer. See QueryableIndex::GetSnapshot.
+  Result<std::shared_ptr<const Snapshot>> GetSnapshot() override;
+
   SymbolTable* symbols() { return &symtab_; }
   const VistOptions& options() const { return options_; }
 
@@ -165,6 +197,7 @@ class VistIndex : public QueryableIndex {
   /// resolving to live nodes, and refcounts equal to the number of
   /// documents whose insertion path traverses each node. O(N log N) time,
   /// O(N) memory. Returns the findings; an empty `problems` means clean.
+  /// Runs on one pinned snapshot, so it may overlap writers.
   struct IntegrityReport {
     uint64_t nodes = 0;
     uint64_t doc_entries = 0;
@@ -186,24 +219,39 @@ class VistIndex : public QueryableIndex {
  private:
   VistIndex(std::string dir, VistOptions options);
 
-  /// Lock-free bodies of the public entry points, for composition: e.g.
-  /// InsertDocument = writer lock + InsertSequenceImpl + StoreDocumentText,
-  /// and Query's verify path reads documents under the shared lock it
-  /// already holds. The REQUIRES annotations make the discipline
-  /// compiler-checked: mutations need mu_ exclusive, reads at least shared.
+  /// Writer-side bodies of the mutating entry points, for composition:
+  /// e.g. InsertDocument = writer lock + transaction + InsertSequenceImpl
+  /// + StoreDocumentText + commit. The REQUIRES annotations make the
+  /// discipline compiler-checked; all of these additionally run inside an
+  /// open VersionManager write transaction.
   Status InsertSequenceImpl(const Sequence& sequence, uint64_t doc_id)
       VIST_REQUIRES(mu_);
   Status DeleteSequenceImpl(const Sequence& sequence, uint64_t doc_id)
       VIST_REQUIRES(mu_);
+  Status BulkLoadSequencesImpl(
+      const std::vector<std::pair<uint64_t, Sequence>>& documents)
+      VIST_REQUIRES(mu_);
+  Status FlushLocked() VIST_REQUIRES(mu_);
+
+  /// Reader-side bodies: lock-free, reading only through `snap`'s views.
   Result<std::vector<uint64_t>> QueryCompiledImpl(
-      const query::CompiledQuery& compiled, obs::QueryProfile* profile,
-      bool collect_doc_ids, DeadlineChecker* checker = nullptr)
-      VIST_REQUIRES_SHARED(mu_);
-  Result<std::string> GetDocumentImpl(uint64_t doc_id)
-      VIST_REQUIRES_SHARED(mu_);
+      const VistSnapshot& snap, const query::CompiledQuery& compiled,
+      obs::QueryProfile* profile, bool collect_doc_ids,
+      DeadlineChecker* checker = nullptr);
+  Result<std::string> GetDocumentImpl(const VistSnapshot& snap,
+                                      uint64_t doc_id);
+
+  /// Pins the current version and builds its tree views (never fails).
+  std::shared_ptr<const VistSnapshot> PinSnapshot() const;
+  /// options.snapshot when set (validated to be ours), else PinSnapshot().
+  Result<std::shared_ptr<const VistSnapshot>> ResolveSnapshot(
+      const QueryOptions& options) const;
 
   Status InitTrees(bool create);
-  Status LoadRootRecord(NodeRecord* record) VIST_REQUIRES_SHARED(mu_);
+  /// Writer-side root-record read (working tree).
+  Status LoadRootRecord(NodeRecord* record) VIST_REQUIRES(mu_);
+  /// Reader-side root-record read through a snapshot view.
+  Status LoadRootRecordAt(const BTreeView& tree, NodeRecord* record) const;
   Status WriteRecord(const std::string& entry_key, const NodeRecord& record)
       VIST_REQUIRES(mu_);
 
@@ -214,10 +262,11 @@ class VistIndex : public QueryableIndex {
     bool dirty = false;
   };
 
-  /// Finds the immediate child of `parent` with the given D-key, if any.
+  /// Finds the immediate child of `parent` with the given D-key, if any
+  /// (writer-side: reads the working tree during an insert/delete).
   Result<bool> FindImmediateChild(const std::string& dkey,
                                   const NodeRecord& parent, PathEntry* out)
-      VIST_REQUIRES_SHARED(mu_);
+      VIST_REQUIRES(mu_);
 
   /// Scope underflow (§3.4.1): labels the remaining elements sequentially
   /// from the nearest ancestor reserve with room, rebuilding the path tail
@@ -233,22 +282,25 @@ class VistIndex : public QueryableIndex {
       VIST_REQUIRES(mu_);
   Status DeleteDocumentText(uint64_t doc_id) VIST_REQUIRES(mu_);
 
-  uint64_t max_depth() const VIST_REQUIRES_SHARED(mu_) {
-    return pager_->GetMetaSlot(3);
+  // The engine scalars live in version meta slots (3 = max_depth,
+  // 4 = underflow_runs): writers see the transaction's working values
+  // below; readers take them from their pinned Version's slots.
+  uint64_t max_depth() const VIST_REQUIRES(mu_) {
+    return versions_->WorkingSlot(3);
   }
-  Status set_max_depth(uint64_t d) VIST_REQUIRES(mu_) {
-    return pager_->SetMetaSlot(3, d);
+  void set_max_depth(uint64_t d) VIST_REQUIRES(mu_) {
+    versions_->SetWorkingSlot(3, d);
   }
-  uint64_t underflow_runs() const VIST_REQUIRES_SHARED(mu_) {
-    return pager_->GetMetaSlot(4);
+  uint64_t underflow_runs() const VIST_REQUIRES(mu_) {
+    return versions_->WorkingSlot(4);
   }
-  Status set_underflow_runs(uint64_t c) VIST_REQUIRES(mu_) {
-    return pager_->SetMetaSlot(4, c);
+  void set_underflow_runs(uint64_t c) VIST_REQUIRES(mu_) {
+    versions_->SetWorkingSlot(4, c);
   }
 
-  /// Readers/writer lock implementing the contract above: query paths hold
-  /// it shared, mutation paths exclusive. Top of the lock order — acquired
-  /// before any buffer-pool shard or pager mutex, and never the other way.
+  /// Writer lock: serializes mutations against each other. Queries never
+  /// touch it (they pin versions instead) — the whole point of the
+  /// copy-on-write design.
   mutable SharedMutex mu_{LockRank::kIndexWriter};
 
   const std::string dir_;
@@ -257,6 +309,8 @@ class VistIndex : public QueryableIndex {
   SchemaStats stats_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  // Declared after pool_ (destroyed first): reclamation frees through it.
+  std::unique_ptr<VersionManager> versions_;
   std::unique_ptr<BTree> entry_tree_;
   std::unique_ptr<BTree> docid_tree_;
   std::unique_ptr<BTree> doc_store_;

@@ -86,6 +86,37 @@ sed -i '/case WireStatus::kBusy:/d' "$TMP/src/server/protocol.cc"
 expect_finding "missing-switch-case" status-switch "kBusy"
 restore src/server/protocol.cc
 
+# Mutant 6 [snapshot-pin]: chain .get() onto a temporary GetSnapshot()
+# result — the RAII pin dies at the end of the expression and the raw
+# Snapshot* reads reclaimable pages.
+cat > "$TMP/tests/sneaky_snapshot_get.cc" <<'EOF'
+struct Idx { int GetSnapshot(); };
+const void* Sneak(Idx* index) {
+  return index->GetSnapshot().value().get();
+}
+EOF
+expect_finding "dangling-snapshot-get" snapshot-pin "temporary GetSnapshot()"
+rm "$TMP/tests/sneaky_snapshot_get.cc"
+
+# Mutant 7 [snapshot-pin]: construct a BTreeView from a raw root outside
+# the storage layer and the engine implementation files — bypasses the
+# Snapshot pin entirely.
+cat > "$TMP/tests/sneaky_raw_root.cc" <<'EOF'
+struct Tree { int ViewAt(int); };
+int Sneak(Tree* tree, int version) { return tree->ViewAt(version); }
+EOF
+expect_finding "raw-root-view" snapshot-pin "BTree::ViewAt"
+rm "$TMP/tests/sneaky_raw_root.cc"
+
+# Mutant 8 [snapshot-pin]: index a Version's raw meta-slot array outside
+# the storage layer.
+cat > "$TMP/tests/sneaky_raw_slots.cc" <<'EOF'
+struct Version { unsigned long slots[4]; };
+unsigned long Sneak(const Version& v) { return v.slots[0]; }
+EOF
+expect_finding "raw-slot-access" snapshot-pin "Version::slots"
+rm "$TMP/tests/sneaky_raw_slots.cc"
+
 # And the tree must be clean again once every mutant is reverted.
 run_lint >/dev/null || fail "tree not clean after restoring all mutants"
 

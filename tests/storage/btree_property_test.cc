@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "storage/btree.h"
+#include "storage/version.h"
 
 namespace vist {
 namespace {
@@ -35,6 +36,10 @@ class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {
   }
   void TearDown() override {
     tree_.reset();
+    if (versions_ != nullptr && versions_->in_write_transaction()) {
+      ASSERT_TRUE(versions_->Commit(++epoch_).ok());
+    }
+    versions_.reset();
     pool_.reset();
     pager_.reset();
     std::filesystem::remove_all(dir_);
@@ -47,18 +52,32 @@ class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {
     ASSERT_TRUE(pager.ok()) << pager.status().ToString();
     pager_ = std::move(pager).value();
     pool_ = std::make_unique<BufferPool>(pager_.get(), 32);
-    auto tree = create ? BTree::Create(pager_.get(), pool_.get(), 0)
-                       : BTree::Open(pager_.get(), pool_.get(), 0);
+    versions_ = std::make_unique<VersionManager>(pager_.get(), pool_.get());
+    versions_->Bootstrap();
+    versions_->BeginWrite();
+    auto tree =
+        create ? BTree::Create(pager_.get(), pool_.get(), versions_.get(), 0)
+               : BTree::Open(pager_.get(), pool_.get(), versions_.get(), 0);
     ASSERT_TRUE(tree.ok()) << tree.status().ToString();
     tree_ = std::move(tree).value();
   }
 
   void Reopen() {
+    ASSERT_TRUE(versions_->Commit(++epoch_).ok());
     tree_.reset();
+    versions_.reset();
     pool_.reset();
     ASSERT_TRUE(pager_->Sync().ok());
     pager_.reset();
     Open(/*create=*/false);
+  }
+
+  /// Publishes the open transaction as a version and starts the next one —
+  /// the property sweep interleaves these so shadowing, publish, and
+  /// no-pin reclamation all run under the randomized op stream.
+  void CommitCycle() {
+    ASSERT_TRUE(versions_->Commit(++epoch_).ok());
+    versions_->BeginWrite();
   }
 
   std::string RandomKey(Random* rng) {
@@ -87,7 +106,9 @@ class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {
   std::filesystem::path dir_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<VersionManager> versions_;
   std::unique_ptr<BTree> tree_;
+  uint64_t epoch_ = 0;
 };
 
 TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
@@ -119,6 +140,7 @@ TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
         EXPECT_EQ(*v, mit->second);
       }
     }
+    if (op % 500 == 499) CommitCycle();
     if (op == kOps / 2) {
       CheckFullEquality(model);
       Reopen();
@@ -149,6 +171,54 @@ TEST_P(BTreePropertyTest, SeekAgreesWithLowerBound) {
       ASSERT_TRUE(it->Valid()) << probe;
       EXPECT_EQ(it->key().ToString(), mit->first);
     }
+  }
+}
+
+TEST_P(BTreePropertyTest, SnapshotViewIsRepeatableUnderLaterMutations) {
+  Random rng(GetParam().seed ^ 0x5eed);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 1500; ++i) {
+    std::string key = RandomKey(&rng);
+    ASSERT_TRUE(tree_->Put(key, "v" + std::to_string(i)).ok());
+    model[key] = "v" + std::to_string(i);
+  }
+  ASSERT_TRUE(versions_->Commit(++epoch_).ok());
+  std::shared_ptr<const Version> pinned = versions_->Pin();
+  const std::map<std::string, std::string> frozen = model;
+
+  // Heavy churn after the pin: overwrites, deletes, inserts, across
+  // several later versions (each commit moves pages into limbo; the pin
+  // keeps them readable).
+  versions_->BeginWrite();
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = RandomKey(&rng);
+    if (rng.Uniform(3) == 0) {
+      Status s = tree_->Delete(key);
+      if (!s.ok()) {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else {
+      ASSERT_TRUE(tree_->Put(key, "post" + std::to_string(i)).ok());
+    }
+    if (i % 700 == 699) CommitCycle();
+  }
+
+  // The pinned view still reads exactly the state frozen at pin time.
+  BTreeView view = tree_->ViewAt(*pinned);
+  auto it = view.NewIterator();
+  auto mit = frozen.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+    ASSERT_NE(mit, frozen.end()) << "snapshot has extra key "
+                                 << it->key().ToString();
+    EXPECT_EQ(it->key().ToString(), mit->first);
+    EXPECT_EQ(it->value().ToString(), mit->second);
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(mit, frozen.end()) << "snapshot is missing keys";
+  for (const auto& [key, value] : frozen) {
+    auto got = view.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value);
   }
 }
 

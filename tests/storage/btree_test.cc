@@ -7,10 +7,14 @@
 #include <string>
 
 #include "common/coding.h"
+#include "storage/version.h"
 
 namespace vist {
 namespace {
 
+// The fixture keeps one write transaction open for the whole test body
+// (writer-side Put/Get/Delete/NewIterator all operate on the working
+// root); Reopen() commits it so the root persists across the cycle.
 class BTreeTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -22,6 +26,10 @@ class BTreeTest : public ::testing::Test {
   }
   void TearDown() override {
     tree_.reset();
+    if (versions_ != nullptr && versions_->in_write_transaction()) {
+      ASSERT_TRUE(versions_->Commit(++epoch_).ok());
+    }
+    versions_.reset();
     pool_.reset();
     pager_.reset();
     std::filesystem::remove_all(dir_);
@@ -32,13 +40,18 @@ class BTreeTest : public ::testing::Test {
     ASSERT_TRUE(pager.ok());
     pager_ = std::move(pager).value();
     pool_ = std::make_unique<BufferPool>(pager_.get(), 64);
-    auto tree = BTree::Create(pager_.get(), pool_.get(), 0);
+    versions_ = std::make_unique<VersionManager>(pager_.get(), pool_.get());
+    versions_->Bootstrap();
+    versions_->BeginWrite();
+    auto tree = BTree::Create(pager_.get(), pool_.get(), versions_.get(), 0);
     ASSERT_TRUE(tree.ok());
     tree_ = std::move(tree).value();
   }
 
   void Reopen() {
+    ASSERT_TRUE(versions_->Commit(++epoch_).ok());
     tree_.reset();
+    versions_.reset();
     pool_.reset();
     ASSERT_TRUE(pager_->Sync().ok());
     pager_.reset();
@@ -46,7 +59,10 @@ class BTreeTest : public ::testing::Test {
     ASSERT_TRUE(pager.ok());
     pager_ = std::move(pager).value();
     pool_ = std::make_unique<BufferPool>(pager_.get(), 64);
-    auto tree = BTree::Open(pager_.get(), pool_.get(), 0);
+    versions_ = std::make_unique<VersionManager>(pager_.get(), pool_.get());
+    versions_->Bootstrap();
+    versions_->BeginWrite();
+    auto tree = BTree::Open(pager_.get(), pool_.get(), versions_.get(), 0);
     ASSERT_TRUE(tree.ok());
     tree_ = std::move(tree).value();
   }
@@ -54,7 +70,9 @@ class BTreeTest : public ::testing::Test {
   std::filesystem::path dir_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<VersionManager> versions_;
   std::unique_ptr<BTree> tree_;
+  uint64_t epoch_ = 0;
 };
 
 TEST_F(BTreeTest, EmptyTreeBehaviour) {
@@ -226,13 +244,13 @@ TEST_F(BTreeTest, PersistsAcrossReopen) {
 }
 
 TEST_F(BTreeTest, OpenWithoutCreateFails) {
-  auto missing = BTree::Open(pager_.get(), pool_.get(), 9);
+  auto missing = BTree::Open(pager_.get(), pool_.get(), versions_.get(), 9);
   EXPECT_FALSE(missing.ok());
   EXPECT_TRUE(missing.status().IsNotFound());
 }
 
 TEST_F(BTreeTest, MultipleTreesShareOneFile) {
-  auto tree2 = BTree::Create(pager_.get(), pool_.get(), 1);
+  auto tree2 = BTree::Create(pager_.get(), pool_.get(), versions_.get(), 1);
   ASSERT_TRUE(tree2.ok());
   ASSERT_TRUE(tree_->Put("shared_key", "from_tree1").ok());
   ASSERT_TRUE((*tree2)->Put("shared_key", "from_tree2").ok());

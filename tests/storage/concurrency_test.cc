@@ -4,9 +4,10 @@
 // The contract under test (buffer_pool.h, docs/CONCURRENCY.md): any number
 // of threads may Fetch concurrently — including misses that evict, misses
 // that collide on one absent page, and misses whose disk read fails — and
-// each fetch observes fully loaded page contents. B+ tree reads follow the
-// caller-enforced many-readers/one-writer rule via a vist::SharedMutex,
-// exactly as the index classes use it.
+// each fetch observes fully loaded page contents. B+ tree readers pin a
+// published Version and read through BTreeView with no lock at all while
+// a writer commits copy-on-write versions, exactly as the index classes
+// do it.
 
 #include <gtest/gtest.h>
 
@@ -22,6 +23,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/version.h"
 
 namespace vist {
 namespace {
@@ -233,22 +235,28 @@ TEST_F(StorageConcurrencyTest, ParallelBTreeReadersSeeEveryKey) {
   // Small pool: the build leaves dirty pages that reader-triggered
   // evictions write back from reader threads.
   BufferPool pool(pager_.get(), 64);
-  auto tree = BTree::Create(pager_.get(), &pool, /*meta_slot=*/0);
+  VersionManager versions(pager_.get(), &pool);
+  versions.Bootstrap();
+  versions.BeginWrite();
+  auto tree = BTree::Create(pager_.get(), &pool, &versions, /*meta_slot=*/0);
   ASSERT_TRUE(tree.ok()) << tree.status().ToString();
   for (int i = 0; i < kKeys; ++i) {
     ASSERT_TRUE((*tree)->Put(key(i), "v" + std::to_string(i)).ok());
   }
+  ASSERT_TRUE(versions.Commit(/*epoch=*/1).ok());
+  std::shared_ptr<const Version> pinned = versions.Pin();
 
   constexpr int kThreads = 4;
   std::atomic<int> bad{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
+      const BTreeView view = (*tree)->ViewAt(*pinned);
       // Point reads of a deterministic sample...
       Lcg rng{static_cast<uint64_t>(t) + 99};
       for (int i = 0; i < 400; ++i) {
         const int k = static_cast<int>(rng.Next() % kKeys);
-        auto value = (*tree)->Get(key(k));
+        auto value = view.Get(key(k));
         if (!value.ok() || *value != "v" + std::to_string(k)) {
           bad.fetch_add(1);
           return;
@@ -256,7 +264,7 @@ TEST_F(StorageConcurrencyTest, ParallelBTreeReadersSeeEveryKey) {
       }
       // ...plus a full range scan with this thread's own iterator.
       int seen = 0;
-      auto it = (*tree)->NewIterator();
+      auto it = view.NewIterator();
       for (it->SeekToFirst(); it->Valid(); it->Next()) ++seen;
       if (!it->status().ok() || seen != kKeys) bad.fetch_add(1);
     });
@@ -265,12 +273,19 @@ TEST_F(StorageConcurrencyTest, ParallelBTreeReadersSeeEveryKey) {
   EXPECT_EQ(bad.load(), 0);
 }
 
-TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
-  // The exact locking discipline the index classes implement: readers hold
-  // a shared_mutex shared, the writer exclusive. Readers must always see a
-  // tree that contains every base key, whatever the writer has added since.
+TEST_F(StorageConcurrencyTest, SnapshotReadersNeverBlockOnTheWriter) {
+  // The exact discipline the index classes implement now: the one writer
+  // commits copy-on-write versions (its BeginWrite/Commit serialized by
+  // the engine writer lock, here simply by being a single thread) while
+  // readers take NO lock at all — each pins the current version and reads
+  // through a BTreeView. Every pinned view must contain every base key,
+  // whatever the writer has published since, and superseded pages must
+  // stay readable until the pin is dropped (limbo reclamation).
   BufferPool pool(pager_.get(), 128);
-  auto tree = BTree::Create(pager_.get(), &pool, /*meta_slot=*/0);
+  VersionManager versions(pager_.get(), &pool);
+  versions.Bootstrap();
+  versions.BeginWrite();
+  auto tree = BTree::Create(pager_.get(), &pool, &versions, /*meta_slot=*/0);
   ASSERT_TRUE(tree.ok()) << tree.status().ToString();
   auto key = [](const char* prefix, int i) {
     return std::string(prefix) + std::to_string(i);
@@ -279,8 +294,8 @@ TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
   for (int i = 0; i < kBase; ++i) {
     ASSERT_TRUE((*tree)->Put(key("base/", i), "x").ok());
   }
+  ASSERT_TRUE(versions.Commit(/*epoch=*/1).ok());
 
-  SharedMutex mu{LockRank::kTestHarness};
   std::atomic<bool> stop{false};
   std::atomic<int> bad{0};
   std::vector<std::thread> readers;
@@ -288,26 +303,23 @@ TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
     readers.emplace_back([&, t] {
       Lcg rng{static_cast<uint64_t>(t) + 7};
       while (!stop.load(std::memory_order_acquire)) {
-        {
-          ReaderLock lock(mu);
-          const int k = static_cast<int>(rng.Next() % kBase);
-          auto value = (*tree)->Get(key("base/", k));
-          if (!value.ok() || *value != "x") {
-            bad.fetch_add(1);
-            return;
-          }
+        std::shared_ptr<const Version> snap = versions.Pin();
+        const BTreeView view = (*tree)->ViewAt(*snap);
+        const int k = static_cast<int>(rng.Next() % kBase);
+        auto value = view.Get(key("base/", k));
+        if (!value.ok() || *value != "x") {
+          bad.fetch_add(1);
+          return;
         }
-        // Greedy readers can starve the writer of a reader-preferring
-        // shared_mutex indefinitely on a single-core machine; the pause
-        // guarantees writer acquisition windows.
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
     });
   }
   std::thread writer([&] {
     for (int i = 0; i < 400; ++i) {
-      WriterLock lock(mu);
-      if (!(*tree)->Put(key("new/", i), "y").ok()) {
+      versions.BeginWrite();
+      if (!(*tree)->Put(key("new/", i), "y").ok() ||
+          !versions.Commit(static_cast<uint64_t>(i) + 2).ok()) {
         bad.fetch_add(1);
         return;
       }
@@ -317,7 +329,8 @@ TEST_F(StorageConcurrencyTest, SharedMutexReadersWithOneWriter) {
   stop.store(true, std::memory_order_release);
   for (auto& thread : readers) thread.join();
   EXPECT_EQ(bad.load(), 0);
-  auto last = (*tree)->Get(key("new/", 399));
+  const BTreeView final_view = (*tree)->ViewAt(*versions.Pin());
+  auto last = final_view.Get(key("new/", 399));
   EXPECT_TRUE(last.ok());
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "storage/btree.h"
+#include "storage/version.h"
 #include "vist/vist_index.h"
 #include "xml/parser.h"
 
@@ -137,21 +138,32 @@ TEST_F(CrashRecoveryTest, TornJournalTailIsIgnored) {
 }
 
 TEST_F(CrashRecoveryTest, BTreeSurvivesCrashAtRandomPoints) {
-  // Model-checked crash loop: insert batches, commit every other batch,
-  // crash, reopen, and verify the tree equals the model of committed
-  // batches only.
+  // Model-checked crash loop: insert batches, commit (publish a version,
+  // flush, sync) every other batch, crash, reopen, and verify the tree
+  // equals the model of committed batches only. Versions published but
+  // not synced must roll back with everything else.
   Random rng(99);
   std::map<std::string, std::string> committed_model;
   for (int round = 0; round < 6; ++round) {
     auto pager = Pager::Open(PagerPath(), PagerOptions());
     ASSERT_TRUE(pager.ok());
     auto pool = std::make_unique<BufferPool>(pager->get(), 64);
+    auto versions = std::make_unique<VersionManager>(pager->get(),
+                                                     pool.get());
+    versions->Bootstrap();
+    versions->BeginWrite();
     auto tree = round == 0
-                    ? BTree::Create(pager->get(), pool.get(), 0)
-                    : BTree::Open(pager->get(), pool.get(), 0);
+                    ? BTree::Create(pager->get(), pool.get(),
+                                    versions.get(), 0)
+                    : BTree::Open(pager->get(), pool.get(),
+                                  versions.get(), 0);
     ASSERT_TRUE(tree.ok());
     if (round == 0) {
-      ASSERT_TRUE((*pager)->Sync().ok());  // commit the empty tree
+      // Commit the empty tree so later rounds can roll back to it.
+      ASSERT_TRUE(versions->Commit(/*epoch=*/0).ok());
+      ASSERT_TRUE(pool->FlushAll().ok());
+      ASSERT_TRUE((*pager)->Sync().ok());
+      versions->BeginWrite();
     }
 
     // Verify current contents match the committed model.
@@ -182,12 +194,14 @@ TEST_F(CrashRecoveryTest, BTreeSurvivesCrashAtRandomPoints) {
     }
     const bool commit = round % 2 == 0;
     if (commit) {
+      ASSERT_TRUE(versions->Commit(static_cast<uint64_t>(round) + 1).ok());
       ASSERT_TRUE(pool->FlushAll().ok());
       ASSERT_TRUE((*pager)->Sync().ok());
       committed_model = std::move(tentative);
     }
     pool->SimulateCrashForTesting();
     (*pager)->SimulateCrashForTesting();
+    versions->AbandonForCrash();
   }
 }
 

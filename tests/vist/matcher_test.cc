@@ -136,13 +136,14 @@ TEST(MatcherProfileTest, ExactIndexNodeAccessCounts) {
   ASSERT_TRUE(ids.ok());
   EXPECT_EQ(ids->size(), 1u);
 
-  // Over single-page trees every iterator seek costs exactly 2 page
-  // accesses (FindLeaf + LoadLeaf). Algorithm 2 performs 7 seeks here:
+  // Over single-page trees every iterator seek costs exactly 1 page
+  // access: the root-to-leaf descent pins each page once and reads cells
+  // in place (no second leaf fetch). Algorithm 2 performs 7 seeks here:
   // for each of 'a' and 'b', one seek to the D-key range, one to its
   // S-Ancestor group, and one jump past the group that ends the scan
   // (3 x 2 = 6), plus one DocId range seek for the matched 'b' — so
-  // 7 seeks x 2 pages = 14 accesses.
-  EXPECT_EQ(first.index_nodes_accessed, 14u);
+  // 7 seeks x 1 page = 7 accesses.
+  EXPECT_EQ(first.index_nodes_accessed, 7u);
   EXPECT_EQ(first.range_scans, 2u);
   EXPECT_EQ(first.nodes_matched, 2u);
   EXPECT_EQ(first.docid_range_scans, 1u);
